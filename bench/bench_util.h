@@ -1,0 +1,54 @@
+// Shared helpers for the experiment benches: table printing and a common
+// main() that first emits the experiment's deterministic result table (the
+// "paper row" regeneration) and then runs the google-benchmark wall-clock
+// measurements.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace aad::bench {
+
+/// Print a fixed-width table row.  Columns are pre-formatted strings.
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-*s", widths[i % widths.size()],
+                  cells[i].c_str());
+    line += buf;
+  }
+  std::puts(line.c_str());
+}
+
+inline void print_rule(const std::vector<int>& widths) {
+  int total = 0;
+  for (int w : widths) total += w;
+  std::puts(std::string(static_cast<std::size_t>(total), '-').c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  return buf;
+}
+
+inline std::string fmt_u(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace aad::bench
+
+/// Each bench defines this: prints its experiment table(s).
+void run_experiment();
+
+int main(int argc, char** argv) {
+  run_experiment();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "algorithms/aes.h"
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+namespace {
+
+std::uint8_t xtime(std::uint8_t x) noexcept {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) ? 0x1B : 0x00));
+}
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) noexcept {
+  std::uint8_t out = 0;
+  while (b) {
+    if (b & 1) out ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return out;
+}
+
+std::array<std::uint8_t, 256> make_sbox() noexcept {
+  // Multiplicative inverse in GF(2^8) followed by the affine transform.
+  std::array<std::uint8_t, 256> box{};
+  for (unsigned v = 0; v < 256; ++v) {
+    std::uint8_t inv = 0;
+    if (v != 0) {
+      for (unsigned c = 1; c < 256; ++c) {
+        if (gf_mul(static_cast<std::uint8_t>(v),
+                   static_cast<std::uint8_t>(c)) == 1) {
+          inv = static_cast<std::uint8_t>(c);
+          break;
+        }
+      }
+    }
+    std::uint8_t b = inv;
+    std::uint8_t result = 0x63;
+    for (int i = 0; i < 8; ++i) {
+      const std::uint8_t bit =
+          static_cast<std::uint8_t>(((b >> i) ^ (b >> ((i + 4) % 8)) ^
+                                     (b >> ((i + 5) % 8)) ^
+                                     (b >> ((i + 6) % 8)) ^
+                                     (b >> ((i + 7) % 8))) &
+                                    1u);
+      result = static_cast<std::uint8_t>(result ^ (bit << i));
+    }
+    box[v] = result;
+  }
+  return box;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& Aes128::sbox() {
+  static const std::array<std::uint8_t, 256> box = make_sbox();
+  return box;
+}
+
+Aes128::Aes128(ByteSpan key) {
+  AAD_REQUIRE(key.size() == 16, "AES-128 key must be 16 bytes");
+  const auto& box = sbox();
+  for (int i = 0; i < 16; ++i) round_keys_[static_cast<std::size_t>(i)] = key[static_cast<std::size_t>(i)];
+  std::uint8_t rcon = 0x01;
+  for (int word = 4; word < 44; ++word) {
+    std::uint8_t temp[4];
+    for (int k = 0; k < 4; ++k)
+      temp[k] = round_keys_[static_cast<std::size_t>((word - 1) * 4 + k)];
+    if (word % 4 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(box[temp[1]] ^ rcon);
+      temp[1] = box[temp[2]];
+      temp[2] = box[temp[3]];
+      temp[3] = box[t0];
+      rcon = xtime(rcon);
+    }
+    for (int k = 0; k < 4; ++k)
+      round_keys_[static_cast<std::size_t>(word * 4 + k)] = static_cast<std::uint8_t>(
+          round_keys_[static_cast<std::size_t>((word - 4) * 4 + k)] ^ temp[k]);
+  }
+}
+
+void Aes128::encrypt_block(std::uint8_t block[16]) const {
+  const auto& box = sbox();
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i)
+      block[i] = static_cast<std::uint8_t>(
+          block[i] ^ round_keys_[static_cast<std::size_t>(round * 16 + i)]);
+  };
+  auto sub_bytes = [&] {
+    for (int i = 0; i < 16; ++i) block[i] = box[block[i]];
+  };
+  auto shift_rows = [&] {
+    // State is column-major: byte index = 4*col + row.
+    std::uint8_t tmp[16];
+    for (int col = 0; col < 4; ++col)
+      for (int row = 0; row < 4; ++row)
+        tmp[4 * col + row] = block[4 * ((col + row) % 4) + row];
+    for (int i = 0; i < 16; ++i) block[i] = tmp[i];
+  };
+  auto mix_columns = [&] {
+    for (int col = 0; col < 4; ++col) {
+      std::uint8_t* c = block + 4 * col;
+      const std::uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+      c[0] = static_cast<std::uint8_t>(xtime(a0) ^ xtime(a1) ^ a1 ^ a2 ^ a3);
+      c[1] = static_cast<std::uint8_t>(a0 ^ xtime(a1) ^ xtime(a2) ^ a2 ^ a3);
+      c[2] = static_cast<std::uint8_t>(a0 ^ a1 ^ xtime(a2) ^ xtime(a3) ^ a3);
+      c[3] = static_cast<std::uint8_t>(xtime(a0) ^ a0 ^ a1 ^ a2 ^ xtime(a3));
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round <= 9; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+}
+
+Bytes Aes128::encrypt_ecb(ByteSpan data) const {
+  AAD_REQUIRE(data.size() % 16 == 0, "AES-ECB input must be 16-byte blocks");
+  Bytes out(data.begin(), data.end());
+  for (std::size_t off = 0; off < out.size(); off += 16)
+    encrypt_block(out.data() + off);
+  return out;
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,35 @@
+// AES-128 (FIPS-197), ECB encryption of whole 16-byte blocks.
+//
+// The S-box and round constants are derived algebraically (GF(2^8) inverse +
+// affine map) rather than transcribed, and checked against the FIPS-197
+// example vector in tests.  This is the golden reference for the AES
+// behavioral kernel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Aes128 {
+ public:
+  /// Expands `key` (16 bytes) into the round-key schedule.
+  explicit Aes128(ByteSpan key);
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(std::uint8_t block[16]) const;
+
+  /// ECB over a whole buffer; size must be a multiple of 16.
+  Bytes encrypt_ecb(ByteSpan data) const;
+
+  /// The AES S-box (exposed for tests and for the hardware cycle model's
+  /// table-lookup discussion).
+  static const std::array<std::uint8_t, 256>& sbox();
+
+ private:
+  std::array<std::uint8_t, 176> round_keys_{};  // 11 round keys x 16
+};
+
+}  // namespace aad::algorithms

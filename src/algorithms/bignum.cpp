@@ -1,0 +1,168 @@
+#include "algorithms/bignum.h"
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+
+BigUint::BigUint(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_bytes(ByteSpan data) {
+  BigUint out;
+  out.limbs_.resize((data.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(data[i]) << (8 * (i % 4));
+  out.trim();
+  return out;
+}
+
+Bytes BigUint::to_bytes(std::size_t width_bytes) const {
+  Bytes out(width_bytes, 0);
+  for (std::size_t i = 0; i < width_bytes && i / 4 < limbs_.size(); ++i)
+    out[i] = static_cast<Byte>(limbs_[i / 4] >> (8 * (i % 4)));
+  return out;
+}
+
+std::size_t BigUint::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::size_t bits = limbs_.size() * 32;
+  std::uint32_t top = limbs_.back();
+  while (!(top & 0x80000000u)) {
+    top <<= 1;
+    --bits;
+  }
+  return bits;
+}
+
+bool BigUint::bit(std::size_t index) const noexcept {
+  const std::size_t limb = index / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (index % 32)) & 1u;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigUint BigUint::add(const BigUint& a, const BigUint& b) {
+  BigUint out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::sub(const BigUint& a, const BigUint& b) {
+  AAD_REQUIRE(compare(a, b) >= 0, "BigUint::sub would underflow");
+  BigUint out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mul(const BigUint& a, const BigUint& b) {
+  if (a.is_zero() || b.is_zero()) return BigUint{};
+  BigUint out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(a.limbs_[i]) * b.limbs_[j] +
+          out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + b.limbs_.size()] += static_cast<std::uint32_t>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::shifted_left(std::size_t bits) const {
+  if (is_zero()) return BigUint{};
+  const std::size_t limb_shift = bits / 32;
+  const unsigned bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0)
+      out.limbs_[i + limb_shift + 1] |=
+          static_cast<std::uint32_t>(limbs_[i] >> (32 - bit_shift));
+  }
+  out.trim();
+  return out;
+}
+
+BigUint BigUint::mod(const BigUint& a, const BigUint& m) {
+  AAD_REQUIRE(!m.is_zero(), "modulus must be nonzero");
+  if (compare(a, m) < 0) return a;
+  // Binary long division: subtract the largest aligned shift of m.
+  BigUint rem = a;
+  const std::size_t shift_max = a.bit_length() - m.bit_length();
+  for (std::size_t s = shift_max + 1; s-- > 0;) {
+    const BigUint shifted = m.shifted_left(s);
+    if (compare(rem, shifted) >= 0) rem = sub(rem, shifted);
+  }
+  return rem;
+}
+
+BigUint BigUint::mod_exp(const BigUint& base, const BigUint& exponent,
+                         const BigUint& modulus) {
+  AAD_REQUIRE(compare(modulus, BigUint{1}) > 0, "modulus must exceed 1");
+  BigUint result{1};
+  BigUint acc = mod(base, modulus);
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = mod(mul(result, acc), modulus);
+    acc = mod(mul(acc, acc), modulus);
+  }
+  return result;
+}
+
+Bytes modexp_bytes(ByteSpan input) {
+  AAD_REQUIRE(input.size() % 3 == 0 && input.size() > 0,
+              "modexp payload must be base||exponent||modulus");
+  const std::size_t width = input.size() / 3;
+  const BigUint base = BigUint::from_bytes(input.subspan(0, width));
+  const BigUint exponent = BigUint::from_bytes(input.subspan(width, width));
+  const BigUint modulus = BigUint::from_bytes(input.subspan(2 * width, width));
+  AAD_REQUIRE(BigUint::compare(modulus, BigUint{1}) > 0,
+              "modexp modulus must exceed 1");
+  return BigUint::mod_exp(base, exponent, modulus).to_bytes(width);
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,56 @@
+// Minimal unsigned big-integer arithmetic for the modular-exponentiation
+// kernel (RSA-style workloads — the algorithm-agile crypto co-processors the
+// paper builds on, refs [1][2], were motivated by exactly this).
+//
+// Little-endian 32-bit limbs; schoolbook multiplication and binary long
+// division — small and obviously correct rather than fast, since the golden
+// path only has to validate the hardware model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(std::uint64_t value);
+  /// Little-endian byte import/export.
+  static BigUint from_bytes(ByteSpan data);
+  Bytes to_bytes(std::size_t width_bytes) const;
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+  std::size_t bit_length() const noexcept;
+  bool bit(std::size_t index) const noexcept;
+
+  static int compare(const BigUint& a, const BigUint& b) noexcept;
+  bool operator==(const BigUint& other) const noexcept {
+    return limbs_ == other.limbs_;
+  }
+
+  static BigUint add(const BigUint& a, const BigUint& b);
+  /// a - b; requires a >= b.
+  static BigUint sub(const BigUint& a, const BigUint& b);
+  static BigUint mul(const BigUint& a, const BigUint& b);
+  /// a mod m; m must be nonzero.
+  static BigUint mod(const BigUint& a, const BigUint& m);
+  BigUint shifted_left(std::size_t bits) const;
+
+  /// base^exponent mod modulus (square-and-multiply); modulus > 1.
+  static BigUint mod_exp(const BigUint& base, const BigUint& exponent,
+                         const BigUint& modulus);
+
+ private:
+  void trim();
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+/// Behavioral-kernel byte contract: input = base || exponent || modulus,
+/// each `width` = input.size()/3 bytes little-endian; output = result,
+/// `width` bytes.  Throws unless the size divides evenly and modulus > 1.
+Bytes modexp_bytes(ByteSpan input);
+
+}  // namespace aad::algorithms

@@ -1,0 +1,172 @@
+#include "algorithms/des.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+namespace {
+
+// Standard FIPS 46-3 tables.  All tables are 1-based bit positions counted
+// from the most significant bit, as in the standard.
+constexpr std::uint8_t kIp[64] = {
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
+
+constexpr std::uint8_t kExpansion[48] = {
+    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,
+    8,  9,  10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+    16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+    24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
+
+constexpr std::uint8_t kP[32] = {16, 7,  20, 21, 29, 12, 28, 17,
+                                 1,  15, 23, 26, 5,  18, 31, 10,
+                                 2,  8,  24, 14, 32, 27, 3,  9,
+                                 19, 13, 30, 6,  22, 11, 4,  25};
+
+constexpr std::uint8_t kPc1[56] = {
+    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
+    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
+    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
+    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
+
+constexpr std::uint8_t kPc2[48] = {
+    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10,
+    23, 19, 12, 4,  26, 8,  16, 7,  27, 20, 13, 2,
+    41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+    44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
+
+constexpr std::uint8_t kShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2,
+                                      1, 2, 2, 2, 2, 2, 2, 1};
+
+constexpr std::uint8_t kSbox[8][64] = {
+    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
+     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
+     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
+     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
+    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
+     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
+     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
+     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
+    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
+     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
+     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
+     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
+    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
+     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
+     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
+     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
+    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
+     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
+     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
+     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
+    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
+     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
+     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
+     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
+    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
+     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
+     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
+     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
+    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
+     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
+     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
+     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
+
+/// Apply a 1-based-from-MSB permutation table: out bit i (MSB-first over
+/// `out_bits`) = in bit table[i] of an `in_bits`-wide value.
+std::uint64_t permute(std::uint64_t in, unsigned in_bits,
+                      const std::uint8_t* table, unsigned out_bits) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < out_bits; ++i) {
+    const unsigned src = table[i];  // 1-based from MSB
+    const std::uint64_t bit = (in >> (in_bits - src)) & 1u;
+    out = (out << 1) | bit;
+  }
+  return out;
+}
+
+/// Final permutation derived as the inverse of IP.
+const std::uint8_t* final_permutation() {
+  static const std::array<std::uint8_t, 64> fp = [] {
+    std::array<std::uint8_t, 64> t{};
+    for (unsigned i = 0; i < 64; ++i) t[kIp[i] - 1] = static_cast<std::uint8_t>(i + 1);
+    return t;
+  }();
+  return fp.data();
+}
+
+std::uint32_t feistel(std::uint32_t half, std::uint64_t subkey) {
+  const std::uint64_t expanded = permute(half, 32, kExpansion, 48) ^ subkey;
+  std::uint32_t s_out = 0;
+  for (int box = 0; box < 8; ++box) {
+    const unsigned six =
+        static_cast<unsigned>((expanded >> (42 - 6 * box)) & 0x3F);
+    const unsigned row = ((six >> 4) & 0x2) | (six & 0x1);
+    const unsigned col = (six >> 1) & 0xF;
+    s_out = (s_out << 4) | kSbox[box][row * 16 + col];
+  }
+  return static_cast<std::uint32_t>(permute(s_out, 32, kP, 32));
+}
+
+}  // namespace
+
+Des::Des(ByteSpan key) {
+  AAD_REQUIRE(key.size() == 8, "DES key must be 8 bytes");
+  std::uint64_t k = 0;
+  for (Byte b : key) k = (k << 8) | b;
+  std::uint64_t cd = permute(k, 64, kPc1, 56);
+  std::uint32_t c = static_cast<std::uint32_t>(cd >> 28);
+  std::uint32_t d = static_cast<std::uint32_t>(cd & 0x0FFFFFFF);
+  for (int round = 0; round < 16; ++round) {
+    const unsigned s = kShifts[round];
+    c = ((c << s) | (c >> (28 - s))) & 0x0FFFFFFF;
+    d = ((d << s) | (d >> (28 - s))) & 0x0FFFFFFF;
+    const std::uint64_t merged =
+        (static_cast<std::uint64_t>(c) << 28) | d;
+    subkeys_[round] = permute(merged, 56, kPc2, 48);
+  }
+}
+
+std::uint64_t Des::crypt(std::uint64_t block, bool decrypt) const {
+  const std::uint64_t ip = permute(block, 64, kIp, 64);
+  std::uint32_t left = static_cast<std::uint32_t>(ip >> 32);
+  std::uint32_t right = static_cast<std::uint32_t>(ip);
+  for (int round = 0; round < 16; ++round) {
+    const std::uint64_t subkey = subkeys_[decrypt ? 15 - round : round];
+    const std::uint32_t next = left ^ feistel(right, subkey);
+    left = right;
+    right = next;
+  }
+  // Pre-output: R16 || L16 (the halves are swapped).
+  const std::uint64_t pre =
+      (static_cast<std::uint64_t>(right) << 32) | left;
+  return permute(pre, 64, final_permutation(), 64);
+}
+
+std::uint64_t Des::encrypt_block(std::uint64_t block) const {
+  return crypt(block, false);
+}
+
+std::uint64_t Des::decrypt_block(std::uint64_t block) const {
+  return crypt(block, true);
+}
+
+Bytes Des::encrypt_ecb(ByteSpan data) const {
+  AAD_REQUIRE(data.size() % 8 == 0, "DES-ECB input must be 8-byte blocks");
+  Bytes out(data.size());
+  for (std::size_t off = 0; off < data.size(); off += 8) {
+    std::uint64_t block = 0;
+    for (int i = 0; i < 8; ++i) block = (block << 8) | data[off + static_cast<std::size_t>(i)];
+    block = encrypt_block(block);
+    for (int i = 7; i >= 0; --i) {
+      out[off + static_cast<std::size_t>(i)] = static_cast<Byte>(block & 0xFF);
+      block >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,32 @@
+// DES (FIPS 46-3), ECB over whole 8-byte blocks.
+//
+// Kept in the bank because the algorithm-agile co-processor literature the
+// paper builds on ([1], [2]) is explicitly about cipher agility for
+// IPSec-era protocol suites, where DES/3DES endpoints were the common case.
+// The final permutation is derived as the inverse of IP rather than
+// transcribed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Des {
+ public:
+  /// `key` is 8 bytes (parity bits ignored, as usual).
+  explicit Des(ByteSpan key);
+
+  std::uint64_t encrypt_block(std::uint64_t block) const;
+  std::uint64_t decrypt_block(std::uint64_t block) const;
+
+  /// ECB encryption; size must be a multiple of 8 (big-endian packing).
+  Bytes encrypt_ecb(ByteSpan data) const;
+
+ private:
+  std::uint64_t crypt(std::uint64_t block, bool decrypt) const;
+  std::uint64_t subkeys_[16];  // 48-bit round keys
+};
+
+}  // namespace aad::algorithms

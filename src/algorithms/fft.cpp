@@ -1,0 +1,90 @@
+#include "algorithms/fft.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace aad::algorithms {
+namespace {
+
+constexpr int kTwiddleFrac = 14;  // Q1.14
+
+std::int16_t sat16(std::int32_t v) noexcept {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<std::int16_t>(v);
+}
+
+}  // namespace
+
+void fft_q15(std::vector<ComplexQ15>& data) {
+  const std::size_t n = data.size();
+  AAD_REQUIRE(n >= 2 && bits::is_pow2(n), "FFT size must be a power of two");
+  const unsigned log_n = bits::log2_exact(n);
+
+  // Bit-reversal reorder.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(bits::reverse_bits(i, log_n));
+    if (j > i) std::swap(data[i], data[j]);
+  }
+
+  for (unsigned stage = 1; stage <= log_n; ++stage) {
+    const std::size_t m = std::size_t{1} << stage;
+    const std::size_t half = m / 2;
+    for (std::size_t k = 0; k < n; k += m) {
+      for (std::size_t j = 0; j < half; ++j) {
+        // Twiddle W_m^j = e^{-2*pi*i*j/m} in Q1.14.
+        const double angle =
+            -2.0 * 3.14159265358979323846 * static_cast<double>(j) /
+            static_cast<double>(m);
+        const std::int32_t wr = static_cast<std::int32_t>(
+            std::lround(std::cos(angle) * (1 << kTwiddleFrac)));
+        const std::int32_t wi = static_cast<std::int32_t>(
+            std::lround(std::sin(angle) * (1 << kTwiddleFrac)));
+
+        ComplexQ15& u = data[k + j];
+        ComplexQ15& v = data[k + j + half];
+        const std::int32_t tr =
+            (wr * v.re - wi * v.im) >> kTwiddleFrac;
+        const std::int32_t ti =
+            (wr * v.im + wi * v.re) >> kTwiddleFrac;
+        // Butterfly with 1/2 scaling per stage (overflow-safe pipeline).
+        const std::int32_t ur = u.re;
+        const std::int32_t ui = u.im;
+        u.re = sat16((ur + tr) >> 1);
+        u.im = sat16((ui + ti) >> 1);
+        v.re = sat16((ur - tr) >> 1);
+        v.im = sat16((ui - ti) >> 1);
+      }
+    }
+  }
+}
+
+Bytes fft_bytes(ByteSpan input) {
+  AAD_REQUIRE(input.size() % 4 == 0, "FFT payload must be complex int16");
+  const std::size_t n = input.size() / 4;
+  std::vector<ComplexQ15> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i].re = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(input[4 * i]) |
+        (static_cast<std::uint16_t>(input[4 * i + 1]) << 8));
+    data[i].im = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(input[4 * i + 2]) |
+        (static_cast<std::uint16_t>(input[4 * i + 3]) << 8));
+  }
+  fft_q15(data);
+  Bytes out(input.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto re = static_cast<std::uint16_t>(data[i].re);
+    const auto im = static_cast<std::uint16_t>(data[i].im);
+    out[4 * i] = static_cast<Byte>(re);
+    out[4 * i + 1] = static_cast<Byte>(re >> 8);
+    out[4 * i + 2] = static_cast<Byte>(im);
+    out[4 * i + 3] = static_cast<Byte>(im >> 8);
+  }
+  return out;
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,30 @@
+// Fixed-point radix-2 decimation-in-time FFT (Q1.14 twiddles, int32
+// intermediate), power-of-two sizes.  Matches the arithmetic an FPGA
+// butterfly datapath would use, so the behavioral kernel's outputs are what
+// the hardware would genuinely produce (bit-exact integer math).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+struct ComplexQ15 {
+  std::int16_t re = 0;
+  std::int16_t im = 0;
+
+  bool operator==(const ComplexQ15&) const = default;
+};
+
+/// In-place FFT over `data` (size must be a power of two >= 2).  Applies
+/// the conventional 1/2 scaling per stage to avoid overflow, as fixed-point
+/// pipelines do.
+void fft_q15(std::vector<ComplexQ15>& data);
+
+/// Byte wrapper: input = N complex samples as (re,im) little-endian int16
+/// pairs; output = transformed samples in the same layout.
+Bytes fft_bytes(ByteSpan input);
+
+}  // namespace aad::algorithms

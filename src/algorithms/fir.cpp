@@ -1,0 +1,59 @@
+#include "algorithms/fir.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+
+std::vector<std::int16_t> fir(const std::vector<std::int16_t>& samples,
+                              const std::vector<std::int16_t>& coeffs) {
+  AAD_REQUIRE(!coeffs.empty(), "FIR needs at least one tap");
+  std::vector<std::int16_t> out(samples.size());
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    std::int32_t acc = 0;
+    for (std::size_t k = 0; k < coeffs.size() && k <= n; ++k)
+      acc += static_cast<std::int32_t>(coeffs[k]) *
+             static_cast<std::int32_t>(samples[n - k]);
+    acc >>= 14;  // Q1.14 coefficient scaling
+    if (acc > 32767) acc = 32767;
+    if (acc < -32768) acc = -32768;
+    out[n] = static_cast<std::int16_t>(acc);
+  }
+  return out;
+}
+
+std::vector<std::int16_t> default_lowpass16() {
+  std::vector<std::int16_t> coeffs(16);
+  for (int k = 0; k < 16; ++k) {
+    const double t = static_cast<double>(k) - 7.5;
+    const double sinc = std::sin(0.5 * 3.14159265358979323846 * t) /
+                        (3.14159265358979323846 * t);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * 3.14159265358979323846 *
+                               static_cast<double>(k) / 15.0);
+    coeffs[static_cast<std::size_t>(k)] = static_cast<std::int16_t>(
+        std::lround(sinc * window * (1 << 14)));
+  }
+  return coeffs;
+}
+
+Bytes fir_bytes(ByteSpan input) {
+  AAD_REQUIRE(input.size() % 2 == 0, "FIR payload must be int16 samples");
+  const std::size_t n = input.size() / 2;
+  std::vector<std::int16_t> samples(n);
+  for (std::size_t i = 0; i < n; ++i)
+    samples[i] = static_cast<std::int16_t>(
+        static_cast<std::uint16_t>(input[2 * i]) |
+        (static_cast<std::uint16_t>(input[2 * i + 1]) << 8));
+  const auto filtered = fir(samples, default_lowpass16());
+  Bytes out(input.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint16_t>(filtered[i]);
+    out[2 * i] = static_cast<Byte>(v);
+    out[2 * i + 1] = static_cast<Byte>(v >> 8);
+  }
+  return out;
+}
+
+}  // namespace aad::algorithms

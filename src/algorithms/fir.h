@@ -1,0 +1,23 @@
+// Fixed-point FIR filter (int16 samples, Q1.14 coefficients, int32 MAC).
+// The streaming-DSP workload for the on-demand swap examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+/// y[n] = sum_k coeff[k] * x[n-k], zero prehistory, >>14 output scaling.
+std::vector<std::int16_t> fir(const std::vector<std::int16_t>& samples,
+                              const std::vector<std::int16_t>& coeffs);
+
+/// A 16-tap low-pass prototype (Hamming-windowed sinc, cutoff 0.25 fs).
+std::vector<std::int16_t> default_lowpass16();
+
+/// Byte wrapper with the default 16-tap filter: little-endian int16 samples
+/// in, same layout out.
+Bytes fir_bytes(ByteSpan input);
+
+}  // namespace aad::algorithms

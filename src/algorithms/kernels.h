@@ -1,0 +1,88 @@
+// The algorithm bank: every function the co-processor can execute
+// on demand, with
+//   * a golden software implementation (also the host-only baseline),
+//   * a bitstream builder (real mapped netlist, or realistic behavioral
+//     stream per DESIGN.md's substitution policy),
+//   * a fabric cycle model (netlist kernels count real executor cycles;
+//     behavioral kernels use a calibrated per-block model),
+//   * a host-CPU time model for the speedup experiment (E4), representing
+//     a ~3 GHz 2005-era desktop running the same software implementation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bitstream/bitstream.h"
+#include "common/bytebuffer.h"
+#include "mcu/runtime.h"
+#include "sim/time.h"
+
+namespace aad::algorithms {
+
+enum class KernelId : std::uint32_t {
+  // Netlist kernels: really placed, configured and executed from the
+  // simulated fabric's configuration plane.
+  kAdder32 = 1,
+  kParity32 = 2,
+  kPopcount32 = 3,
+  kComparator32 = 4,
+  kGray32 = 5,
+  kMul8 = 6,
+  kCrc32 = 7,
+  kLfsr32 = 8,
+  // Behavioral kernels: software-exact compute + calibrated cycle model
+  // behind a realistic synthesized bitstream.
+  kAes128 = 100,
+  kDes = 101,
+  kXtea = 102,
+  kSha1 = 103,
+  kSha256 = 104,
+  kMd5 = 105,
+  kMatMul = 106,
+  kFft = 107,
+  kFir16 = 108,
+  kModExp = 109,  ///< RSA-style 1024-bit modular exponentiation
+};
+
+struct KernelSpec {
+  KernelId id;
+  std::string name;
+  bitstream::FunctionKind kind;
+  std::uint32_t input_width = 0;   ///< input bus bits per fabric cycle
+  std::uint32_t output_width = 0;  ///< output bus bits per fabric cycle
+  /// Frames a default-geometry build occupies (behavioral: fixed footprint;
+  /// netlist: what the mapper+packer produced for the 16-row geometry).
+  unsigned nominal_frames = 0;
+
+  /// Golden software implementation (bit-exact with the hardware path).
+  std::function<Bytes(ByteSpan)> software;
+  /// Fabric cycles for `input_bytes` (behavioral kernels only; netlist
+  /// kernels report real executor cycles at run time).
+  std::function<std::int64_t(std::size_t)> fabric_cycles;
+  /// Host-only execution time for `input_bytes` (E4 baseline).
+  std::function<sim::SimTime(std::size_t)> host_time;
+  /// Build the configuration bitstream for `geometry`.
+  std::function<bitstream::Bitstream(const fabric::FrameGeometry&)>
+      make_bitstream;
+
+  /// Canonical example input of `blocks` payload units (tests/benches).
+  std::function<Bytes(std::size_t blocks, std::uint64_t seed)> make_input;
+};
+
+/// All kernels, netlist first.
+const std::vector<KernelSpec>& catalog();
+
+/// Lookup; throws kNotFound for an unknown id.
+const KernelSpec& spec(KernelId id);
+
+/// The ROM/MCU function id of a kernel (stable across runs).
+constexpr std::uint32_t function_id(KernelId id) noexcept {
+  return static_cast<std::uint32_t>(id);
+}
+
+/// Register every behavioral model and custom netlist driver.
+void register_runtimes(mcu::RuntimeRegistry& registry);
+
+}  // namespace aad::algorithms

@@ -1,0 +1,54 @@
+#include "algorithms/matmul.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+
+std::vector<std::int32_t> matmul(const std::vector<std::int16_t>& a,
+                                 const std::vector<std::int16_t>& b,
+                                 std::size_t n) {
+  AAD_REQUIRE(a.size() == n * n && b.size() == n * n,
+              "matrix size mismatch");
+  std::vector<std::int32_t> c(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::int32_t aik = a[i * n + k];
+      for (std::size_t j = 0; j < n; ++j)
+        c[i * n + j] += aik * static_cast<std::int32_t>(b[k * n + j]);
+    }
+  return c;
+}
+
+Bytes matmul_bytes(ByteSpan input) {
+  AAD_REQUIRE(input.size() % 4 == 0, "matmul payload must hold two matrices");
+  const std::size_t elements = input.size() / 4;  // per matrix, int16
+  const std::size_t n =
+      static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(elements))));
+  AAD_REQUIRE(n * n == elements, "matmul payload is not two square matrices");
+
+  auto load = [&](std::size_t base, std::size_t count) {
+    std::vector<std::int16_t> m(count);
+    for (std::size_t i = 0; i < count; ++i)
+      m[i] = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(input[base + 2 * i]) |
+          (static_cast<std::uint16_t>(input[base + 2 * i + 1]) << 8));
+    return m;
+  };
+  const auto a = load(0, n * n);
+  const auto b = load(2 * n * n, n * n);
+  const auto c = matmul(a, b, n);
+
+  Bytes out(c.size() * 4);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const auto v = static_cast<std::uint32_t>(c[i]);
+    out[4 * i] = static_cast<Byte>(v);
+    out[4 * i + 1] = static_cast<Byte>(v >> 8);
+    out[4 * i + 2] = static_cast<Byte>(v >> 16);
+    out[4 * i + 3] = static_cast<Byte>(v >> 24);
+  }
+  return out;
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,24 @@
+// Integer matrix multiply: the "offload a dense kernel" workload the paper's
+// introduction motivates.  Operates on int16 inputs with int32 accumulation
+// (a systolic-array-friendly precision choice); the behavioral kernel's
+// cycle model assumes an NxN systolic array streaming one row per cycle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+/// C = A * B for square NxN int16 matrices, row-major.
+std::vector<std::int32_t> matmul(const std::vector<std::int16_t>& a,
+                                 const std::vector<std::int16_t>& b,
+                                 std::size_t n);
+
+/// Byte-level wrapper used by the behavioral kernel: input is A then B as
+/// little-endian int16 (must be 2 * 2 * n^2 bytes for some integer n);
+/// output is C as little-endian int32.
+Bytes matmul_bytes(ByteSpan input);
+
+}  // namespace aad::algorithms

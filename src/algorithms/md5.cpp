@@ -1,0 +1,109 @@
+#include "algorithms/md5.h"
+
+#include <cmath>
+
+namespace aad::algorithms {
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, unsigned n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+const std::uint32_t* sine_table() {
+  static const auto k = [] {
+    std::array<std::uint32_t, 64> out{};
+    for (int i = 0; i < 64; ++i)
+      out[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+          std::floor(std::abs(std::sin(static_cast<double>(i + 1))) *
+                     4294967296.0));
+    return out;
+  }();
+  return k.data();
+}
+
+constexpr unsigned kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+}  // namespace
+
+void Md5::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Md5::process_block(const Byte block[64]) {
+  const std::uint32_t* k = sine_table();
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i)
+    m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 8) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 3]) << 24);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  for (int t = 0; t < 64; ++t) {
+    std::uint32_t f;
+    int g;
+    if (t < 16) {
+      f = (b & c) | ((~b) & d);
+      g = t;
+    } else if (t < 32) {
+      f = (d & b) | ((~d) & c);
+      g = (5 * t + 1) % 16;
+    } else if (t < 48) {
+      f = b ^ c ^ d;
+      g = (3 * t + 5) % 16;
+    } else {
+      f = c ^ (b | (~d));
+      g = (7 * t) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + k[t] + m[g], kShift[t]);
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+}
+
+void Md5::update(ByteSpan data) {
+  total_bytes_ += data.size();
+  for (Byte byte : data) {
+    buffer_[buffered_++] = byte;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<Byte, 16> Md5::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  Byte pad = 0x80;
+  update(ByteSpan(&pad, 1));
+  const Byte zero = 0;
+  while (buffered_ != 56) update(ByteSpan(&zero, 1));
+  Byte len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<Byte>(bit_len >> (8 * i));  // little-endian length
+  update(ByteSpan(len, 8));
+
+  std::array<Byte, 16> out;
+  for (int i = 0; i < 4; ++i)
+    for (int b = 0; b < 4; ++b)
+      out[static_cast<std::size_t>(4 * i + b)] =
+          static_cast<Byte>(h_[i] >> (8 * b));  // little-endian state
+  return out;
+}
+
+}  // namespace aad::algorithms

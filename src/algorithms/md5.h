@@ -1,0 +1,33 @@
+// MD5 (RFC 1321).  The sine-derived constant table is generated at startup
+// from the RFC's definition K[i] = floor(2^32 * |sin(i+1)|).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Md5 {
+ public:
+  void update(ByteSpan data);
+  std::array<Byte, 16> digest();
+  void reset();
+
+  static std::array<Byte, 16> hash(ByteSpan data) {
+    Md5 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  void process_block(const Byte block[64]);
+
+  std::uint32_t h_[4] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u};
+  Byte buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace aad::algorithms

@@ -1,0 +1,91 @@
+#include "algorithms/sha1.h"
+
+namespace aad::algorithms {
+namespace {
+std::uint32_t rotl(std::uint32_t x, unsigned n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::process_block(const Byte block[64]) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t)
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f;
+    std::uint32_t k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(ByteSpan data) {
+  total_bytes_ += data.size();
+  for (Byte byte : data) {
+    buffer_[buffered_++] = byte;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<Byte, 20> Sha1::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  Byte pad = 0x80;
+  update(ByteSpan(&pad, 1));
+  const Byte zero = 0;
+  while (buffered_ != 56) update(ByteSpan(&zero, 1));
+  Byte len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+  update(ByteSpan(len, 8));
+
+  std::array<Byte, 20> out;
+  for (int i = 0; i < 5; ++i)
+    for (int b = 0; b < 4; ++b)
+      out[static_cast<std::size_t>(4 * i + b)] =
+          static_cast<Byte>(h_[i] >> (24 - 8 * b));
+  return out;
+}
+
+}  // namespace aad::algorithms

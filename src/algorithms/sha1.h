@@ -1,0 +1,34 @@
+// SHA-1 (FIPS 180-1).  Golden reference for the SHA-1 behavioral kernel.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Sha1 {
+ public:
+  void update(ByteSpan data);
+  /// Finalize and return the 20-byte digest; the object then needs reset().
+  std::array<Byte, 20> digest();
+  void reset();
+
+  static std::array<Byte, 20> hash(ByteSpan data) {
+    Sha1 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  void process_block(const Byte block[64]);
+
+  std::uint32_t h_[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                         0xC3D2E1F0u};
+  Byte buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace aad::algorithms

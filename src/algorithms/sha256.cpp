@@ -1,0 +1,135 @@
+#include "algorithms/sha256.h"
+
+#include <cmath>
+
+namespace aad::algorithms {
+namespace {
+
+std::uint32_t rotr(std::uint32_t x, unsigned n) noexcept {
+  return (x >> n) | (x << (32 - n));
+}
+
+std::uint32_t frac_bits(double x) noexcept {
+  return static_cast<std::uint32_t>(
+      (x - std::floor(x)) * 4294967296.0 /* 2^32 */);
+}
+
+const std::uint32_t* round_constants() {
+  static const auto k = [] {
+    std::array<std::uint32_t, 64> out{};
+    int found = 0;
+    for (int n = 2; found < 64; ++n) {
+      bool prime = true;
+      for (int d = 2; d * d <= n; ++d)
+        if (n % d == 0) {
+          prime = false;
+          break;
+        }
+      if (prime) out[static_cast<std::size_t>(found++)] = frac_bits(std::cbrt(static_cast<double>(n)));
+    }
+    return out;
+  }();
+  return k.data();
+}
+
+const std::uint32_t* initial_state() {
+  static const auto h = [] {
+    std::array<std::uint32_t, 8> out{};
+    int found = 0;
+    for (int n = 2; found < 8; ++n) {
+      bool prime = true;
+      for (int d = 2; d * d <= n; ++d)
+        if (n % d == 0) {
+          prime = false;
+          break;
+        }
+      if (prime) out[static_cast<std::size_t>(found++)] = frac_bits(std::sqrt(static_cast<double>(n)));
+    }
+    return out;
+  }();
+  return h.data();
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  for (int i = 0; i < 8; ++i) h_[i] = initial_state()[i];
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::process_block(const Byte block[64]) {
+  const std::uint32_t* k = round_constants();
+  std::uint32_t w[64];
+  for (int t = 0; t < 16; ++t)
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  for (int t = 16; t < 64; ++t) {
+    const std::uint32_t s0 =
+        rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
+  std::uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
+  for (int t = 0; t < 64; ++t) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ ((~e) & g);
+    const std::uint32_t temp1 = h + s1 + ch + k[t] + w[t];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+  h_[5] += f;
+  h_[6] += g;
+  h_[7] += h;
+}
+
+void Sha256::update(ByteSpan data) {
+  total_bytes_ += data.size();
+  for (Byte byte : data) {
+    buffer_[buffered_++] = byte;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+}
+
+std::array<Byte, 32> Sha256::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  Byte pad = 0x80;
+  update(ByteSpan(&pad, 1));
+  const Byte zero = 0;
+  while (buffered_ != 56) update(ByteSpan(&zero, 1));
+  Byte len[8];
+  for (int i = 0; i < 8; ++i)
+    len[i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+  update(ByteSpan(len, 8));
+
+  std::array<Byte, 32> out;
+  for (int i = 0; i < 8; ++i)
+    for (int b = 0; b < 4; ++b)
+      out[static_cast<std::size_t>(4 * i + b)] =
+          static_cast<Byte>(h_[i] >> (24 - 8 * b));
+  return out;
+}
+
+}  // namespace aad::algorithms

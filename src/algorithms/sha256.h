@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-2).  Round constants and initial state are derived at
+// startup from the fractional parts of cube/square roots of the first
+// primes, as the standard defines them, instead of being transcribed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void update(ByteSpan data);
+  std::array<Byte, 32> digest();
+  void reset();
+
+  static std::array<Byte, 32> hash(ByteSpan data) {
+    Sha256 h;
+    h.update(data);
+    return h.digest();
+  }
+
+ private:
+  void process_block(const Byte block[64]);
+
+  std::uint32_t h_[8];
+  Byte buffer_[64] = {};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace aad::algorithms

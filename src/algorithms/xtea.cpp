@@ -1,0 +1,58 @@
+#include "algorithms/xtea.h"
+
+#include "common/error.h"
+
+namespace aad::algorithms {
+
+namespace {
+constexpr std::uint32_t kDelta = 0x9E3779B9u;
+constexpr unsigned kRounds = 32;
+}  // namespace
+
+Xtea::Xtea(ByteSpan key) {
+  AAD_REQUIRE(key.size() == 16, "XTEA key must be 16 bytes");
+  for (int w = 0; w < 4; ++w) {
+    key_[w] = 0;
+    for (int b = 3; b >= 0; --b)
+      key_[w] = (key_[w] << 8) | key[static_cast<std::size_t>(w * 4 + b)];
+  }
+}
+
+void Xtea::encrypt_block(std::uint32_t& v0, std::uint32_t& v1) const {
+  std::uint32_t sum = 0;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key_[(sum >> 11) & 3]);
+  }
+}
+
+void Xtea::decrypt_block(std::uint32_t& v0, std::uint32_t& v1) const {
+  std::uint32_t sum = kDelta * kRounds;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key_[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+  }
+}
+
+Bytes Xtea::encrypt_ecb(ByteSpan data) const {
+  AAD_REQUIRE(data.size() % 8 == 0, "XTEA-ECB input must be 8-byte blocks");
+  Bytes out(data.begin(), data.end());
+  for (std::size_t off = 0; off < out.size(); off += 8) {
+    std::uint32_t v0 = 0;
+    std::uint32_t v1 = 0;
+    for (int b = 3; b >= 0; --b) {
+      v0 = (v0 << 8) | out[off + static_cast<std::size_t>(b)];
+      v1 = (v1 << 8) | out[off + 4 + static_cast<std::size_t>(b)];
+    }
+    encrypt_block(v0, v1);
+    for (int b = 0; b < 4; ++b) {
+      out[off + static_cast<std::size_t>(b)] = static_cast<Byte>(v0 >> (8 * b));
+      out[off + 4 + static_cast<std::size_t>(b)] = static_cast<Byte>(v1 >> (8 * b));
+    }
+  }
+  return out;
+}
+
+}  // namespace aad::algorithms

@@ -1,0 +1,27 @@
+// XTEA (Needham & Wheeler, 1997), 64 Feistel half-rounds, ECB over 8-byte
+// blocks.  Small enough that an RTL implementation is one round of logic
+// iterated 32 fabric cycles — the cycle model in kernels.cpp reflects that.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+
+namespace aad::algorithms {
+
+class Xtea {
+ public:
+  /// `key` is 16 bytes (four 32-bit words, little-endian).
+  explicit Xtea(ByteSpan key);
+
+  void encrypt_block(std::uint32_t& v0, std::uint32_t& v1) const;
+  void decrypt_block(std::uint32_t& v0, std::uint32_t& v1) const;
+
+  /// ECB encryption; size must be a multiple of 8 (little-endian packing).
+  Bytes encrypt_ecb(ByteSpan data) const;
+
+ private:
+  std::uint32_t key_[4];
+};
+
+}  // namespace aad::algorithms

@@ -1,0 +1,92 @@
+#include "bitstream/stats.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+namespace aad::bitstream {
+namespace {
+
+double entropy_bits(const std::array<std::size_t, 256>& histogram,
+                    std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (std::size_t count : histogram) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+ContentStats analyze_bytes(ByteSpan data) {
+  ContentStats stats;
+  stats.total_bytes = data.size();
+  std::array<std::size_t, 256> histogram{};
+  std::size_t zero_bytes = 0;
+  for (Byte b : data) {
+    ++histogram[b];
+    if (b == 0) ++zero_bytes;
+  }
+  stats.zero_byte_fraction =
+      data.empty() ? 0.0
+                   : static_cast<double>(zero_bytes) /
+                         static_cast<double>(data.size());
+  stats.byte_entropy_bits = entropy_bits(histogram, data.size());
+  return stats;
+}
+
+ContentStats analyze(const Bitstream& bitstream) {
+  const Bytes raw = serialize(bitstream);
+  ContentStats stats = analyze_bytes(raw);
+
+  std::size_t zero_words = 0;
+  std::size_t total_words = 0;
+  std::unordered_set<fabric::Word> vocabulary;
+  for (const auto& frame : bitstream.frames) {
+    total_words += frame.size();
+    for (fabric::Word w : frame) {
+      if (w == 0) ++zero_words;
+      vocabulary.insert(w);
+    }
+  }
+  stats.zero_word_fraction =
+      total_words == 0 ? 0.0
+                       : static_cast<double>(zero_words) /
+                             static_cast<double>(total_words);
+  stats.distinct_words = vocabulary.size();
+
+  // Inter-frame similarity: same-offset word matches between consecutive
+  // frames, averaged over frame pairs.
+  if (bitstream.frames.size() >= 2) {
+    double sum = 0.0;
+    for (std::size_t f = 1; f < bitstream.frames.size(); ++f) {
+      const auto& prev = bitstream.frames[f - 1];
+      const auto& cur = bitstream.frames[f];
+      std::size_t same = 0;
+      for (std::size_t i = 0; i < cur.size(); ++i)
+        if (cur[i] == prev[i]) ++same;
+      sum += static_cast<double>(same) / static_cast<double>(cur.size());
+    }
+    stats.interframe_similarity =
+        sum / static_cast<double>(bitstream.frames.size() - 1);
+  }
+  return stats;
+}
+
+std::string to_string(const ContentStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%zu B, zero-bytes %.1f%%, zero-words %.1f%%, vocab %zu, "
+                "entropy %.2f b/B, interframe-sim %.1f%%",
+                stats.total_bytes, stats.zero_byte_fraction * 100.0,
+                stats.zero_word_fraction * 100.0, stats.distinct_words,
+                stats.byte_entropy_bits,
+                stats.interframe_similarity * 100.0);
+  return buf;
+}
+
+}  // namespace aad::bitstream

@@ -1,0 +1,28 @@
+// Bitstream content statistics: the quantities that explain *why* each
+// compression codec performs the way it does (E2 in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "bitstream/bitstream.h"
+
+namespace aad::bitstream {
+
+struct ContentStats {
+  std::size_t total_bytes = 0;
+  double zero_byte_fraction = 0.0;   ///< sparsity
+  double zero_word_fraction = 0.0;   ///< empty LUT slots / unused routing
+  std::size_t distinct_words = 0;    ///< vocabulary size (dictionary reuse)
+  double byte_entropy_bits = 0.0;    ///< Shannon entropy, bits per byte
+  /// Mean fraction of words identical to the same offset in the previous
+  /// frame — the inter-frame symmetry the paper's open problem targets.
+  double interframe_similarity = 0.0;
+};
+
+ContentStats analyze(const Bitstream& bitstream);
+ContentStats analyze_bytes(ByteSpan data);
+
+std::string to_string(const ContentStats& stats);
+
+}  // namespace aad::bitstream

@@ -1,0 +1,135 @@
+#include "bitstream/synth.h"
+
+#include <array>
+
+#include "common/prng.h"
+#include "fabric/clbcodec.h"
+
+namespace aad::bitstream {
+
+using netlist::LutNetwork;
+using netlist::LutSlot;
+using netlist::NetKind;
+using netlist::NetRef;
+
+Bitstream synthesize_behavioral(const std::string& name,
+                                std::uint32_t kernel_id,
+                                std::uint32_t input_width,
+                                std::uint32_t output_width,
+                                const fabric::FrameGeometry& geometry,
+                                const SynthParams& params) {
+  geometry.validate();
+  AAD_REQUIRE(params.frames >= 1, "behavioral kernel needs >= 1 frame");
+  AAD_REQUIRE(params.density > 0.0 && params.density <= 1.0,
+              "density must be in (0, 1]");
+
+  const std::size_t total =
+      static_cast<std::size_t>(params.frames) * geometry.slots_per_frame();
+  AAD_REQUIRE(total >= output_width,
+              "kernel footprint too small for its output bus");
+
+  // Real designs reuse a handful of LUT functions; drawing from this
+  // dictionary reproduces that clustering (and thus codec-visible
+  // redundancy).
+  constexpr std::array<std::uint16_t, 10> kTruthDict = {
+      0xAAAA,  // pass
+      0x6666,  // xor(p0,p1)
+      0x8888,  // and(p0,p1)
+      0xEEEE,  // or(p0,p1)
+      0x9999,  // xnor(p0,p1)
+      0x6996,  // parity(p0..p2 with p3 replicate)
+      0xCACA,  // mux
+      0xE8E8,  // majority
+      0x7777,  // nand-ish
+      0x1111,  // nor
+  };
+
+  Prng rng(params.seed * 0x9E3779B97F4A7C15ull + kernel_id + 1);
+  LutNetwork network(name, input_width, output_width);
+  std::vector<std::uint32_t> ff_slots;
+
+  const unsigned slots_per_frame = geometry.slots_per_frame();
+  std::uint32_t outputs_bound = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    // Columnar repetition: datapaths are bit-sliced, so a slot often mirrors
+    // the same-row slot one frame earlier.  Repeated slots keep their pin
+    // structure verbatim (backward references stay backward when shifted by
+    // a whole frame), which is exactly the inter-frame symmetry the
+    // frame-delta codec collapses.
+    if (i >= slots_per_frame && rng.next_bool(params.column_repeat)) {
+      LutSlot copy = network.slots()[i - slots_per_frame];
+      copy.is_output = false;
+      const bool empty = copy == LutSlot{};
+      // While output bits still need drivers, don't replicate holes —
+      // fall through and synthesize a fresh occupied slot instead.
+      if (!empty || outputs_bound >= output_width) {
+        if (!empty && outputs_bound < output_width) {
+          copy.is_output = true;
+          copy.output_bit = static_cast<std::uint16_t>(outputs_bound++);
+        }
+        network.add_slot(copy);
+        continue;
+      }
+    }
+    // Occupancy is Bernoulli(density) with the head of the design forced
+    // occupied so every output bit finds a driver; empty slots stay
+    // interleaved through the frames (realistic sparsity).
+    const bool occupied =
+        i < output_width || rng.next_bool(params.density);
+    if (!occupied) {
+      network.add_slot(LutSlot{});
+      continue;
+    }
+    LutSlot slot;
+    slot.truth = kTruthDict[rng.next_below(kTruthDict.size())];
+    slot.has_ff = rng.next_bool(params.ff_fraction);
+
+    for (unsigned pin = 0; pin < 4; ++pin) {
+      const double roll = rng.next_double();
+      if (roll < 0.30 && input_width > 0) {
+        slot.pins[pin] = NetRef{NetKind::kPrimary,
+                                static_cast<std::uint32_t>(
+                                    rng.next_below(input_width))};
+      } else if (roll < 0.80 && i > 0) {
+        // Backward reference with geometric locality: most routing stays
+        // within a few CLBs, occasionally reaching far back.
+        std::size_t back = 1 + rng.next_below(8);
+        if (rng.next_bool(0.1)) back = 1 + rng.next_below(i);
+        if (back > i) back = i;
+        slot.pins[pin] = NetRef{
+            NetKind::kLutComb, static_cast<std::uint32_t>(i - back)};
+      } else if (roll < 0.90 && !ff_slots.empty()) {
+        slot.pins[pin] = NetRef{
+            NetKind::kLutReg,
+            ff_slots[rng.next_below(ff_slots.size())]};
+      } else {
+        slot.pins[pin] = NetRef{rng.next_bool(0.5) ? NetKind::kConst0
+                                                   : NetKind::kUnused,
+                                0};
+      }
+    }
+    // Bind output bits to the first output_width occupied slots.
+    if (outputs_bound < output_width) {
+      slot.is_output = true;
+      slot.output_bit = static_cast<std::uint16_t>(outputs_bound++);
+    }
+    const std::uint32_t index = network.add_slot(slot);
+    if (slot.has_ff) ff_slots.push_back(index);
+  }
+
+  Bitstream out;
+  out.info.name = name;
+  out.info.kind = FunctionKind::kBehavioral;
+  out.info.geometry = geometry;
+  out.info.input_width = input_width;
+  out.info.output_width = output_width;
+  out.info.kernel_id = kernel_id;
+  out.frames = fabric::encode_frames(network, geometry);
+  // encode_frames sizes by slot count; pad to the requested footprint so the
+  // kernel reserves the frames its placement actually needs.
+  while (out.frames.size() < params.frames)
+    out.frames.emplace_back(geometry.words_per_frame(), 0);
+  return out;
+}
+
+}  // namespace aad::bitstream

@@ -1,0 +1,44 @@
+// Synthetic bitstream generator for behavioral kernels.
+//
+// Behavioral kernels (AES, SHA, FFT, ...) are too large to gate-map inside
+// this repository, but their configuration streams still have to flow
+// through the whole ROM → decompress → config-port pipeline with *realistic
+// content*, otherwise every compression result would be an artifact of
+// feeding the codecs random or all-zero data.
+//
+// The generator therefore emits frames that are exactly what the CLB codec
+// would produce for a plausible design of the requested density: LUT truth
+// tables drawn from a small dictionary (real designs reuse a handful of
+// functions), pin selectors with strong backward locality, a sprinkling of
+// flip-flops, derived switch-block words, and unused slots left empty.
+// The result decodes and validates like any netlist bitstream.
+#pragma once
+
+#include <cstdint>
+
+#include "bitstream/bitstream.h"
+
+namespace aad::bitstream {
+
+struct SynthParams {
+  std::uint32_t frames = 4;        ///< frame payloads to emit
+  double density = 0.75;           ///< fraction of LUT slots occupied
+  double ff_fraction = 0.25;       ///< fraction of occupied slots with an FF
+  /// Probability that a slot repeats the same-row slot of the previous
+  /// frame — the columnar regularity of real datapaths (bit-sliced ALUs,
+  /// round functions) that the paper's open-problem codec exploits.
+  double column_repeat = 0.45;
+  std::uint64_t seed = 1;          ///< content seed (kernel id works well)
+};
+
+/// Generate a behavioral-kind bitstream with realistic structure.
+/// `input_width`/`output_width` describe the kernel's per-cycle buses and
+/// are carried in the header for the data I/O modules.
+Bitstream synthesize_behavioral(const std::string& name,
+                                std::uint32_t kernel_id,
+                                std::uint32_t input_width,
+                                std::uint32_t output_width,
+                                const fabric::FrameGeometry& geometry,
+                                const SynthParams& params);
+
+}  // namespace aad::bitstream

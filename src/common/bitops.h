@@ -1,0 +1,135 @@
+// Small bit-manipulation helpers used by the fabric, bitstream and
+// compression layers.  All functions are constexpr and allocation-free.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace aad::bits {
+
+/// Extract bit `index` (0 = LSB) of `word`.
+constexpr bool get_bit(std::uint64_t word, unsigned index) noexcept {
+  return (word >> index) & 1u;
+}
+
+/// Return `word` with bit `index` set to `value`.
+constexpr std::uint64_t with_bit(std::uint64_t word, unsigned index,
+                                 bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << index;
+  return value ? (word | mask) : (word & ~mask);
+}
+
+/// Mask of the low `n` bits (n in [0,64]).
+constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Extract `count` bits starting at `offset` (LSB-first) from `word`.
+constexpr std::uint64_t field(std::uint64_t word, unsigned offset,
+                              unsigned count) noexcept {
+  return (word >> offset) & low_mask(count);
+}
+
+/// Insert `value` into `word` at `offset`, width `count`.
+constexpr std::uint64_t with_field(std::uint64_t word, unsigned offset,
+                                   unsigned count,
+                                   std::uint64_t value) noexcept {
+  const std::uint64_t mask = low_mask(count) << offset;
+  return (word & ~mask) | ((value << offset) & mask);
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(std::uint64_t word) noexcept {
+  return static_cast<unsigned>(std::popcount(word));
+}
+
+/// Reverse the low `n` bits of `word` (used by FFT bit-reversal and CRC).
+constexpr std::uint64_t reverse_bits(std::uint64_t word, unsigned n) noexcept {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < n; ++i) out = with_bit(out, n - 1 - i, get_bit(word, i));
+  return out;
+}
+
+/// Ceil(numerator / denominator) for positive integers.
+constexpr std::size_t ceil_div(std::size_t numerator,
+                               std::size_t denominator) noexcept {
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Round `value` up to the next multiple of `alignment` (alignment > 0).
+constexpr std::size_t round_up(std::size_t value,
+                               std::size_t alignment) noexcept {
+  return ceil_div(value, alignment) * alignment;
+}
+
+/// True iff `value` is a power of two (and nonzero).
+constexpr bool is_pow2(std::size_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Integer log2 for powers of two.
+constexpr unsigned log2_exact(std::size_t value) noexcept {
+  return static_cast<unsigned>(std::countr_zero(value));
+}
+
+/// A dynamically sized bit vector with word-level access, used for LUT masks
+/// and frame configuration payloads.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size_bits, bool fill = false)
+      : size_(size_bits),
+        words_(ceil_div(size_bits, 64),
+               fill ? ~std::uint64_t{0} : std::uint64_t{0}) {
+    trim_tail();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t index) const {
+    AAD_REQUIRE(index < size_, "BitVector index out of range");
+    return get_bit(words_[index / 64], index % 64);
+  }
+
+  void set(std::size_t index, bool value) {
+    AAD_REQUIRE(index < size_, "BitVector index out of range");
+    words_[index / 64] = with_bit(words_[index / 64], index % 64, value);
+  }
+
+  void resize(std::size_t size_bits) {
+    size_ = size_bits;
+    words_.resize(ceil_div(size_bits, 64), 0);
+    trim_tail();
+  }
+
+  /// Count of set bits over the whole vector.
+  std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (auto w : words_) total += popcount(w);
+    return total;
+  }
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+  bool operator==(const BitVector& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+ private:
+  // Keep bits beyond size_ zero so count()/operator== stay exact.
+  void trim_tail() noexcept {
+    if (size_ % 64 != 0 && !words_.empty())
+      words_.back() &= low_mask(static_cast<unsigned>(size_ % 64));
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace aad::bits

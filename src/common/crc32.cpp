@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace aad {
+namespace {
+
+// Table generated at static-init time from the reflected IEEE polynomial.
+std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const std::array<std::uint32_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(Byte b) noexcept {
+  state_ = table()[(state_ ^ b) & 0xFFu] ^ (state_ >> 8);
+}
+
+void Crc32::update(ByteSpan data) noexcept {
+  for (Byte b : data) update(b);
+}
+
+}  // namespace aad

@@ -1,0 +1,86 @@
+// Error handling primitives for the AAD co-processor library.
+//
+// Construction failures and contract violations throw aad::Error carrying an
+// ErrorCode; hot-path query APIs return values/optionals instead.  The
+// AAD_CHECK / AAD_REQUIRE macros give uniform, message-bearing enforcement.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace aad {
+
+/// Stable error taxonomy shared by every subsystem.
+enum class ErrorCode : std::uint8_t {
+  kInvalidArgument,   ///< caller passed a value outside the documented domain
+  kOutOfRange,        ///< index / address beyond a container or device bound
+  kCapacityExceeded,  ///< a fixed-size resource (ROM, fabric, RAM) is full
+  kCorruptData,       ///< CRC mismatch, malformed header, truncated stream
+  kNotFound,          ///< lookup by id/name failed
+  kAlreadyExists,     ///< duplicate registration
+  kDeviceBusy,        ///< operation issued while a previous one is pending
+  kUnsupported,       ///< feature not provided by this configuration
+  kProtocolViolation, ///< host/MCU command sequence broke the protocol
+  kInternal,          ///< invariant violation inside the library
+};
+
+/// Human-readable name of an ErrorCode ("InvalidArgument", ...).
+constexpr std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kCapacityExceeded: return "CapacityExceeded";
+    case ErrorCode::kCorruptData: return "CorruptData";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kAlreadyExists: return "AlreadyExists";
+    case ErrorCode::kDeviceBusy: return "DeviceBusy";
+    case ErrorCode::kUnsupported: return "Unsupported";
+    case ErrorCode::kProtocolViolation: return "ProtocolViolation";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+/// Exception type thrown throughout the library.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+namespace detail {
+[[noreturn]] inline void fail(ErrorCode code, const std::string& message,
+                              const char* file, int line) {
+  throw Error(code, message + " [" + file + ":" + std::to_string(line) + "]");
+}
+}  // namespace detail
+
+}  // namespace aad
+
+/// Enforce a caller-facing precondition; throws kInvalidArgument on failure.
+#define AAD_REQUIRE(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::aad::detail::fail(::aad::ErrorCode::kInvalidArgument, (msg),         \
+                          __FILE__, __LINE__);                               \
+  } while (false)
+
+/// Enforce an internal invariant; throws kInternal on failure.
+#define AAD_CHECK(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::aad::detail::fail(::aad::ErrorCode::kInternal, (msg), __FILE__,     \
+                          __LINE__);                                         \
+  } while (false)
+
+/// Throw a specific error code with a message.
+#define AAD_FAIL(code, msg) \
+  ::aad::detail::fail((code), (msg), __FILE__, __LINE__)

@@ -1,0 +1,43 @@
+// Minimal leveled logger.  Off by default (kWarn) so benches stay quiet;
+// examples raise it to kInfo to narrate the co-processor's activity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aad::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide threshold; messages below it are discarded.
+Level threshold() noexcept;
+void set_threshold(Level level) noexcept;
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  ~LineLogger() { write(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aad::log
+
+#define AAD_LOG(level)                                        \
+  if (::aad::log::Level::level < ::aad::log::threshold()) {   \
+  } else                                                      \
+    ::aad::log::detail::LineLogger(::aad::log::Level::level)

@@ -1,0 +1,69 @@
+// Deterministic PRNG (xoshiro256**) used by workload generators, test data
+// and randomized placement.  Seeded explicitly everywhere so experiments are
+// reproducible run to run; never std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+
+namespace aad {
+
+class Prng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept {
+    // splitmix64 seeding to fill the xoshiro state from one word.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using rejection-free multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool(double probability_true) noexcept {
+    return next_double() < probability_true;
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> shuffles.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace aad

@@ -1,0 +1,81 @@
+// Bitstream compression codecs.
+//
+// The paper stores *compressed* configuration bit-streams in ROM (§2.2) and
+// the configuration module "decompresses the compressed bit-stream window by
+// window" (§2.3).  Every codec here therefore provides, besides one-shot
+// compress, a *pull-based streaming decompressor* whose working set is
+// bounded (ring buffers / previous-frame history), so the configuration
+// engine can produce one frame-sized window at a time without ever
+// materializing the full bitstream in MCU RAM.
+//
+// Container format (shared by all codecs): u32 raw_size (LE) followed by the
+// codec-specific stream.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytebuffer.h"
+
+namespace aad::compress {
+
+enum class CodecId : std::uint8_t {
+  kNull = 0,       ///< stored; baseline
+  kRle = 1,        ///< byte run-length
+  kLzss = 2,       ///< LZSS, 4 KiB window, 3..18 byte matches
+  kHuffman = 3,    ///< canonical byte Huffman
+  kGolomb = 4,     ///< Rice-coded zero runs + literals (sparse streams)
+  kFrameDelta = 5, ///< XOR with previous frame, then RLE (paper §4 open
+                   ///< problem: exploits inter-frame CLB symmetry)
+  kDeltaGolomb = 6,///< XOR with previous frame, then Rice-coded zero runs
+                   ///< (the open problem pushed further; see
+                   ///< bench_compression's ablation)
+};
+
+const char* to_string(CodecId id) noexcept;
+
+/// Pull-based decompressor.  read() fills as much of `out` as it can and
+/// returns the byte count produced; 0 means end of stream.
+class DecompressStream {
+ public:
+  virtual ~DecompressStream() = default;
+  virtual std::size_t read(std::span<Byte> out) = 0;
+
+  /// Total bytes this stream will produce (from the container header).
+  virtual std::size_t raw_size() const = 0;
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  virtual CodecId id() const noexcept = 0;
+  virtual std::string name() const = 0;
+
+  /// One-shot compression (host side, during function provisioning).
+  virtual Bytes compress(ByteSpan raw) const = 0;
+
+  /// Open a streaming decompressor over `compressed` (borrowed; must
+  /// outlive the stream).
+  virtual std::unique_ptr<DecompressStream> decompress_stream(
+      ByteSpan compressed) const = 0;
+
+  /// Convenience: full decompression through the streaming path (so tests
+  /// of this method exercise the same code the configuration module uses).
+  Bytes decompress(ByteSpan compressed) const;
+};
+
+/// Factory.  `frame_bytes` parameterizes kFrameDelta and kDeltaGolomb (the
+/// window/frame size of the target device); other codecs ignore it.
+std::unique_ptr<Codec> make_codec(CodecId id, std::size_t frame_bytes = 0);
+
+/// All codec ids, in presentation order for experiments.
+std::vector<CodecId> all_codec_ids();
+
+/// MCU-side decompression cost model (configuration-module cycles per
+/// *output* byte).  Calibrated to the relative work each decoder does:
+/// table-free copies are cheapest, bit-serial entropy coders dearest.
+double decompress_cycles_per_byte(CodecId id) noexcept;
+
+}  // namespace aad::compress

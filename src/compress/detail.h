@@ -1,0 +1,38 @@
+// Internal: per-codec factory hooks used by make_codec().
+#pragma once
+
+#include <memory>
+
+#include "compress/codec.h"
+
+namespace aad::compress::detail {
+
+std::unique_ptr<Codec> make_null();
+std::unique_ptr<Codec> make_rle();
+std::unique_ptr<Codec> make_lzss();
+std::unique_ptr<Codec> make_huffman();
+std::unique_ptr<Codec> make_golomb();
+std::unique_ptr<Codec> make_frame_delta(std::size_t frame_bytes);
+std::unique_ptr<Codec> make_delta_golomb(std::size_t frame_bytes);
+
+/// Shared by kRle and kFrameDelta: raw RLE encode/decode of a byte stream
+/// (no container header).
+Bytes rle_encode(ByteSpan raw);
+
+/// Incremental RLE decoder over a borrowed compressed span.
+class RleDecoder {
+ public:
+  explicit RleDecoder(ByteSpan data) : data_(data) {}
+
+  /// Produce up to out.size() bytes; returns count (0 = end).
+  std::size_t read(std::span<Byte> out);
+
+ private:
+  ByteSpan data_;
+  std::size_t pos_ = 0;         // cursor into data_
+  std::size_t run_left_ = 0;    // bytes remaining in current op
+  bool run_is_repeat_ = false;
+  Byte repeat_byte_ = 0;
+};
+
+}  // namespace aad::compress::detail

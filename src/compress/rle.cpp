@@ -1,0 +1,182 @@
+// Null (stored) codec and byte run-length codec.
+//
+// RLE op format: control byte c —
+//   c < 0x80 : literal run, c+1 bytes follow (1..128)
+//   c >= 0x80: repeat run, byte follows, repeated (c-0x80)+3 times (3..130)
+#include <algorithm>
+
+#include "compress/detail.h"
+
+namespace aad::compress::detail {
+namespace {
+
+constexpr std::size_t kMaxLiteral = 128;
+constexpr std::size_t kMinRepeat = 3;
+constexpr std::size_t kMaxRepeat = 130;
+
+// ---------------------------------------------------------------------------
+// Null codec
+// ---------------------------------------------------------------------------
+
+class NullStream final : public DecompressStream {
+ public:
+  NullStream(ByteSpan payload, std::size_t raw_size)
+      : payload_(payload), raw_size_(raw_size) {
+    if (payload.size() != raw_size)
+      AAD_FAIL(ErrorCode::kCorruptData, "stored payload length mismatch");
+  }
+
+  std::size_t read(std::span<Byte> out) override {
+    const std::size_t n = std::min(out.size(), payload_.size() - pos_);
+    std::copy_n(payload_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out.begin());
+    pos_ += n;
+    return n;
+  }
+
+  std::size_t raw_size() const override { return raw_size_; }
+
+ private:
+  ByteSpan payload_;
+  std::size_t raw_size_;
+  std::size_t pos_ = 0;
+};
+
+class NullCodec final : public Codec {
+ public:
+  CodecId id() const noexcept override { return CodecId::kNull; }
+  std::string name() const override { return "null"; }
+
+  Bytes compress(ByteSpan raw) const override {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(raw.size()));
+    w.bytes(raw);
+    return std::move(w).take();
+  }
+
+  std::unique_ptr<DecompressStream> decompress_stream(
+      ByteSpan compressed) const override {
+    ByteReader r(compressed);
+    const std::size_t raw_size = r.u32();
+    return std::make_unique<NullStream>(compressed.subspan(4), raw_size);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// RLE codec
+// ---------------------------------------------------------------------------
+
+class RleStream final : public DecompressStream {
+ public:
+  RleStream(ByteSpan payload, std::size_t raw_size)
+      : decoder_(payload), raw_size_(raw_size) {}
+
+  std::size_t read(std::span<Byte> out) override {
+    const std::size_t want =
+        std::min(out.size(), raw_size_ - produced_);
+    const std::size_t got = decoder_.read(out.subspan(0, want));
+    produced_ += got;
+    return got;
+  }
+
+  std::size_t raw_size() const override { return raw_size_; }
+
+ private:
+  RleDecoder decoder_;
+  std::size_t raw_size_;
+  std::size_t produced_ = 0;
+};
+
+class RleCodec final : public Codec {
+ public:
+  CodecId id() const noexcept override { return CodecId::kRle; }
+  std::string name() const override { return "rle"; }
+
+  Bytes compress(ByteSpan raw) const override {
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(raw.size()));
+    w.bytes(rle_encode(raw));
+    return std::move(w).take();
+  }
+
+  std::unique_ptr<DecompressStream> decompress_stream(
+      ByteSpan compressed) const override {
+    ByteReader r(compressed);
+    const std::size_t raw_size = r.u32();
+    return std::make_unique<RleStream>(compressed.subspan(4), raw_size);
+  }
+};
+
+}  // namespace
+
+Bytes rle_encode(ByteSpan raw) {
+  Bytes out;
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  auto flush_literals = [&](std::size_t end) {
+    std::size_t start = literal_start;
+    while (start < end) {
+      const std::size_t n = std::min(kMaxLiteral, end - start);
+      out.push_back(static_cast<Byte>(n - 1));
+      out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(start),
+                 raw.begin() + static_cast<std::ptrdiff_t>(start + n));
+      start += n;
+    }
+  };
+  while (i < raw.size()) {
+    std::size_t run = 1;
+    while (i + run < raw.size() && raw[i + run] == raw[i] &&
+           run < kMaxRepeat)
+      ++run;
+    if (run >= kMinRepeat) {
+      flush_literals(i);
+      out.push_back(static_cast<Byte>(0x80 + (run - kMinRepeat)));
+      out.push_back(raw[i]);
+      i += run;
+      literal_start = i;
+    } else {
+      i += run;
+    }
+  }
+  flush_literals(raw.size());
+  return out;
+}
+
+std::size_t RleDecoder::read(std::span<Byte> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    if (run_left_ == 0) {
+      if (pos_ >= data_.size()) break;  // end of ops
+      const Byte control = data_[pos_++];
+      if (control < 0x80) {
+        run_is_repeat_ = false;
+        run_left_ = static_cast<std::size_t>(control) + 1;
+        if (pos_ + run_left_ > data_.size())
+          AAD_FAIL(ErrorCode::kCorruptData, "RLE literal run truncated");
+      } else {
+        run_is_repeat_ = true;
+        run_left_ = static_cast<std::size_t>(control - 0x80) + kMinRepeat;
+        if (pos_ >= data_.size())
+          AAD_FAIL(ErrorCode::kCorruptData, "RLE repeat byte missing");
+        repeat_byte_ = data_[pos_++];
+      }
+    }
+    const std::size_t n = std::min(run_left_, out.size() - produced);
+    if (run_is_repeat_) {
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(produced), n,
+                  repeat_byte_);
+    } else {
+      std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                  out.begin() + static_cast<std::ptrdiff_t>(produced));
+      pos_ += n;
+    }
+    run_left_ -= n;
+    produced += n;
+  }
+  return produced;
+}
+
+std::unique_ptr<Codec> make_null() { return std::make_unique<NullCodec>(); }
+std::unique_ptr<Codec> make_rle() { return std::make_unique<RleCodec>(); }
+
+}  // namespace aad::compress::detail

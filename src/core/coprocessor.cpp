@@ -1,0 +1,110 @@
+#include "core/coprocessor.h"
+
+namespace aad::core {
+
+AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config)
+    : fabric_(config.fabric),
+      bus_(config.pci),
+      mcu_(fabric_, scheduler_, trace_, runtime_, config.mcu) {
+  trace_.set_enabled(config.trace_enabled);
+  algorithms::register_runtimes(runtime_);
+}
+
+sim::SimTime AgileCoprocessor::pci_command_overhead(unsigned registers) {
+  sim::SimTime total = sim::SimTime::zero();
+  for (unsigned i = 0; i < registers; ++i) total += bus_.register_write();
+  total += bus_.register_read();  // status poll
+  return total;
+}
+
+memory::RomRecord AgileCoprocessor::download(
+    algorithms::KernelId kernel, std::optional<compress::CodecId> codec) {
+  const auto& spec = algorithms::spec(kernel);
+  const bitstream::Bitstream bs = spec.make_bitstream(fabric_.geometry());
+  return download_bitstream(algorithms::function_id(kernel), bs, codec);
+}
+
+memory::RomRecord AgileCoprocessor::download_bitstream(
+    memory::FunctionId id, const bitstream::Bitstream& bitstream,
+    std::optional<compress::CodecId> codec) {
+  // The host compresses and ships the stream; the MCU stores it.  The MCU
+  // call performs compression + ROM programming (and advances time for the
+  // ROM); we then charge the PCI for the compressed payload it carried.
+  const memory::RomRecord record = mcu_.store_function(id, bitstream, codec);
+  const sim::SimTime begin = scheduler_.now();
+  sim::SimTime pci = pci_command_overhead(4);
+  pci += bus_.dma_to_device(record.compressed_size);
+  scheduler_.advance(pci);
+  trace_.record(sim::Stage::kHostPci, record.name + "/download", begin,
+                scheduler_.now());
+  return record;
+}
+
+void AgileCoprocessor::download_all(std::optional<compress::CodecId> codec) {
+  for (const auto& spec : algorithms::catalog()) download(spec.id, codec);
+}
+
+InvokeOutcome AgileCoprocessor::invoke_function(memory::FunctionId id,
+                                                ByteSpan input) {
+  InvokeOutcome outcome;
+  const sim::SimTime begin = scheduler_.now();
+
+  // Command setup + input DMA into local RAM.
+  {
+    const sim::SimTime t0 = scheduler_.now();
+    sim::SimTime pci = pci_command_overhead(4);
+    pci += bus_.dma_to_device(input.size());
+    scheduler_.advance(pci);
+    trace_.record(sim::Stage::kHostPci, "invoke/in", t0, scheduler_.now());
+    outcome.pci_time += pci;
+  }
+
+  outcome.device = mcu_.invoke(id, input);
+
+  // Output DMA + completion status.
+  {
+    const sim::SimTime t0 = scheduler_.now();
+    sim::SimTime pci = bus_.dma_from_device(outcome.device.output.size());
+    pci += bus_.register_read();
+    scheduler_.advance(pci);
+    trace_.record(sim::Stage::kHostPci, "invoke/out", t0, scheduler_.now());
+    outcome.pci_time += pci;
+  }
+
+  outcome.output = outcome.device.output;
+  outcome.latency = scheduler_.now() - begin;
+  return outcome;
+}
+
+InvokeOutcome AgileCoprocessor::invoke(algorithms::KernelId kernel,
+                                       ByteSpan input) {
+  return invoke_function(algorithms::function_id(kernel), input);
+}
+
+HostOutcome AgileCoprocessor::run_on_host(algorithms::KernelId kernel,
+                                          ByteSpan input) {
+  const auto& spec = algorithms::spec(kernel);
+  HostOutcome outcome;
+  outcome.output = spec.software(input);
+  outcome.latency = spec.host_time(input.size());
+  scheduler_.advance(outcome.latency);
+  return outcome;
+}
+
+mcu::LoadResult AgileCoprocessor::preload(algorithms::KernelId kernel) {
+  const sim::SimTime pci = pci_command_overhead(2);
+  scheduler_.advance(pci);
+  return mcu_.ensure_loaded(algorithms::function_id(kernel));
+}
+
+void AgileCoprocessor::evict(algorithms::KernelId kernel) {
+  const sim::SimTime pci = pci_command_overhead(2);
+  scheduler_.advance(pci);
+  mcu_.evict(algorithms::function_id(kernel));
+}
+
+CoprocessorStats AgileCoprocessor::stats() const {
+  return CoprocessorStats{mcu_.stats(), bus_.stats(), scheduler_.now()};
+}
+
+}  // namespace aad::core

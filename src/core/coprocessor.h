@@ -1,0 +1,114 @@
+// AgileCoprocessor: the public API of the library — the single-chip
+// PCI-card system of Figure 1 assembled end to end.
+//
+//   host (this API)
+//     └─ PCI bus model ── microcontroller ── ROM / local RAM
+//                              └─ configuration module ── partially
+//                                 reconfigurable fabric (frames, CLBs)
+//
+// Typical use:
+//
+//   aad::core::AgileCoprocessor cp;
+//   cp.download(aad::algorithms::KernelId::kAes128);    // provision ROM
+//   auto r = cp.invoke(aad::algorithms::KernelId::kAes128, input);
+//   // r.output    — the function result (bit-exact with software)
+//   // r.latency   — simulated end-to-end time, reconfiguration included
+//
+// Every method advances the embedded discrete-event clock; stats() and
+// trace() expose where the time went.
+#pragma once
+
+#include <optional>
+
+#include "algorithms/kernels.h"
+#include "fabric/fabric.h"
+#include "mcu/mcu.h"
+#include "pci/pci.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace aad::core {
+
+struct CoprocessorConfig {
+  fabric::Fabric::Config fabric;
+  mcu::McuConfig mcu;
+  pci::PciTiming pci;
+  bool trace_enabled = false;  ///< span tracing costs memory on long runs
+};
+
+struct InvokeOutcome {
+  Bytes output;
+  mcu::InvokeResult device;   ///< MCU-side breakdown
+  sim::SimTime pci_time;      ///< host<->card transfer time
+  sim::SimTime latency;       ///< end-to-end, as the host experiences it
+};
+
+struct HostOutcome {
+  Bytes output;
+  sim::SimTime latency;       ///< host-only software execution time
+};
+
+struct CoprocessorStats {
+  mcu::McuStats device;
+  pci::PciStats bus;
+  sim::SimTime uptime;        ///< simulated time since construction
+};
+
+class AgileCoprocessor {
+ public:
+  explicit AgileCoprocessor(const CoprocessorConfig& config = {});
+
+  // --- provisioning ---------------------------------------------------------
+
+  /// Build the kernel's bitstream for this device, compress it and download
+  /// it into the card's ROM over PCI.  Returns the ROM record.
+  memory::RomRecord download(
+      algorithms::KernelId kernel,
+      std::optional<compress::CodecId> codec = std::nullopt);
+
+  /// Download a caller-supplied bitstream under an explicit function id.
+  memory::RomRecord download_bitstream(
+      memory::FunctionId id, const bitstream::Bitstream& bitstream,
+      std::optional<compress::CodecId> codec = std::nullopt);
+
+  /// Download every kernel in the catalog (convenience for experiments).
+  void download_all(std::optional<compress::CodecId> codec = std::nullopt);
+
+  // --- execution ------------------------------------------------------------
+
+  /// Execute `kernel` on `input` via the card (reconfiguring on demand).
+  InvokeOutcome invoke(algorithms::KernelId kernel, ByteSpan input);
+
+  /// Execute an arbitrary provisioned function id.
+  InvokeOutcome invoke_function(memory::FunctionId id, ByteSpan input);
+
+  /// Host-only baseline: same computation, no card (E4's comparator).
+  HostOutcome run_on_host(algorithms::KernelId kernel, ByteSpan input);
+
+  /// Preload a kernel without executing (host-directed warm-up).
+  mcu::LoadResult preload(algorithms::KernelId kernel);
+  /// Host-directed swap-out.
+  void evict(algorithms::KernelId kernel);
+
+  // --- introspection ----------------------------------------------------------
+  CoprocessorStats stats() const;
+  sim::SimTime now() const noexcept { return scheduler_.now(); }
+  const sim::Trace& trace() const noexcept { return trace_; }
+  sim::Trace& trace() noexcept { return trace_; }
+  const fabric::Fabric& fabric() const noexcept { return fabric_; }
+  mcu::Mcu& mcu() noexcept { return mcu_; }
+  const mcu::Mcu& mcu() const noexcept { return mcu_; }
+  pci::PciBus& bus() noexcept { return bus_; }
+
+ private:
+  sim::SimTime pci_command_overhead(unsigned registers);
+
+  sim::Scheduler scheduler_;
+  sim::Trace trace_;
+  fabric::Fabric fabric_;
+  pci::PciBus bus_;
+  mcu::RuntimeRegistry runtime_;
+  mcu::Mcu mcu_;
+};
+
+}  // namespace aad::core

@@ -1,0 +1,43 @@
+#include "fabric/config_memory.h"
+
+#include <algorithm>
+
+namespace aad::fabric {
+
+ConfigMemory::ConfigMemory(const FrameGeometry& geometry)
+    : geometry_(geometry), words_(geometry.device_words(), 0) {
+  geometry.validate();
+}
+
+void ConfigMemory::write_frame(FrameIndex frame,
+                               std::span<const Word> words) {
+  AAD_REQUIRE(frame < geometry_.frame_count, "frame index out of range");
+  AAD_REQUIRE(words.size() == geometry_.words_per_frame(),
+              "frame write size mismatch");
+  std::copy(words.begin(), words.end(),
+            words_.begin() +
+                static_cast<std::ptrdiff_t>(frame) *
+                    geometry_.words_per_frame());
+  ++frame_writes_;
+  words_written_ += words.size();
+}
+
+std::span<const Word> ConfigMemory::read_frame(FrameIndex frame) const {
+  AAD_REQUIRE(frame < geometry_.frame_count, "frame index out of range");
+  return std::span<const Word>(
+      words_.data() +
+          static_cast<std::size_t>(frame) * geometry_.words_per_frame(),
+      geometry_.words_per_frame());
+}
+
+void ConfigMemory::write_full(std::span<const Word> words) {
+  AAD_REQUIRE(words.size() == geometry_.device_words(),
+              "full write size mismatch");
+  std::copy(words.begin(), words.end(), words_.begin());
+  ++full_writes_;
+  words_written_ += words.size();
+}
+
+void ConfigMemory::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+}  // namespace aad::fabric

@@ -1,0 +1,47 @@
+// Frame-addressed configuration memory (the FPGA's SRAM configuration
+// plane).  Partial reconfiguration rewrites individual frames; full
+// reconfiguration rewrites the whole plane.  Write counters feed the
+// reconfiguration-cost experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/geometry.h"
+
+namespace aad::fabric {
+
+class ConfigMemory {
+ public:
+  explicit ConfigMemory(const FrameGeometry& geometry);
+
+  const FrameGeometry& geometry() const noexcept { return geometry_; }
+
+  /// Overwrite one frame.  `words` must be exactly words_per_frame().
+  void write_frame(FrameIndex frame, std::span<const Word> words);
+
+  /// Read one frame.
+  std::span<const Word> read_frame(FrameIndex frame) const;
+
+  /// Overwrite the entire plane (full reconfiguration).  `words` must be
+  /// exactly device_words().
+  void write_full(std::span<const Word> words);
+
+  /// Zero every frame (device erase / power-up state).
+  void clear();
+
+  // --- statistics ---------------------------------------------------------
+  std::uint64_t frame_writes() const noexcept { return frame_writes_; }
+  std::uint64_t full_writes() const noexcept { return full_writes_; }
+  std::uint64_t words_written() const noexcept { return words_written_; }
+
+ private:
+  FrameGeometry geometry_;
+  std::vector<Word> words_;
+  std::uint64_t frame_writes_ = 0;
+  std::uint64_t full_writes_ = 0;
+  std::uint64_t words_written_ = 0;
+};
+
+}  // namespace aad::fabric

@@ -1,0 +1,40 @@
+// Configuration-port timing model (SelectMAP-style parallel port).
+//
+// The configuration module shifts decompressed frame words into the device
+// `width_bits` at a time at `clock`; each frame additionally pays an
+// address-setup overhead (FAR write + sync).  Pure model — the actual state
+// change happens in ConfigMemory; the MCU advances simulated time by the
+// durations computed here.
+#pragma once
+
+#include "fabric/geometry.h"
+#include "sim/time.h"
+
+namespace aad::fabric {
+
+struct ConfigPortModel {
+  unsigned width_bits = 8;                       ///< port width (SelectMAP8)
+  sim::Frequency clock = sim::Frequency::mhz(50);
+  unsigned frame_overhead_cycles = 24;           ///< FAR + sync per frame
+  unsigned full_overhead_cycles = 1200;          ///< device init on full load
+
+  /// Cycles to shift `words` 32-bit words through the port.
+  std::int64_t shift_cycles(std::size_t words) const noexcept {
+    const std::size_t bits = words * 32;
+    return static_cast<std::int64_t>((bits + width_bits - 1) / width_bits);
+  }
+
+  /// Time to configure one frame (partial reconfiguration step).
+  sim::SimTime frame_time(const FrameGeometry& geometry) const noexcept {
+    return clock.cycles(shift_cycles(geometry.words_per_frame()) +
+                        frame_overhead_cycles);
+  }
+
+  /// Time to configure the entire device (full reconfiguration).
+  sim::SimTime full_time(const FrameGeometry& geometry) const noexcept {
+    return clock.cycles(shift_cycles(geometry.device_words()) +
+                        full_overhead_cycles);
+  }
+};
+
+}  // namespace aad::fabric

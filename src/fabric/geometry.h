@@ -1,0 +1,63 @@
+// Device geometry of the simulated partially reconfigurable FPGA.
+//
+// Following the paper's definition, a *frame* is "a prespecified number of
+// Logic Blocks and the relevant Switch Blocks": here one column of
+// `clb_rows` CLBs plus their switch blocks.  A frame is the atomic unit of
+// (re)configuration, exactly as on the Virtex-II the proof of concept used.
+//
+// Per-CLB configuration layout (all 32-bit words):
+//   4 LUT slots x 5 words  = 20 words  (truth table + flags, 4 pin selectors)
+//   switch block            =  4 words  (packed pin routing, one per pin row)
+//   total                   = 24 words
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+
+namespace aad::fabric {
+
+using FrameIndex = std::uint32_t;
+using Word = std::uint32_t;
+
+constexpr unsigned kLutsPerClb = 4;
+constexpr unsigned kWordsPerLutSlot = 5;
+constexpr unsigned kSwitchWordsPerClb = 4;
+constexpr unsigned kWordsPerClb =
+    kLutsPerClb * kWordsPerLutSlot + kSwitchWordsPerClb;
+
+struct FrameGeometry {
+  unsigned clb_rows = 16;    ///< CLBs per frame (column height)
+  unsigned frame_count = 48; ///< frames (columns) on the device
+
+  constexpr unsigned slots_per_frame() const noexcept {
+    return clb_rows * kLutsPerClb;
+  }
+  constexpr unsigned words_per_frame() const noexcept {
+    return clb_rows * kWordsPerClb;
+  }
+  constexpr std::size_t device_words() const noexcept {
+    return static_cast<std::size_t>(frame_count) * words_per_frame();
+  }
+  constexpr std::size_t device_bytes() const noexcept {
+    return device_words() * sizeof(Word);
+  }
+  constexpr std::size_t frame_bytes() const noexcept {
+    return static_cast<std::size_t>(words_per_frame()) * sizeof(Word);
+  }
+
+  void validate() const {
+    AAD_REQUIRE(clb_rows >= 1 && clb_rows <= 256, "clb_rows out of range");
+    AAD_REQUIRE(frame_count >= 1 && frame_count <= 4096,
+                "frame_count out of range");
+  }
+
+  bool operator==(const FrameGeometry&) const = default;
+};
+
+/// Device id string used in bitstream headers ("AAD-48x16").
+std::string device_id(const FrameGeometry& geometry);
+
+}  // namespace aad::fabric

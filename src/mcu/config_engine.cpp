@@ -1,0 +1,118 @@
+#include "mcu/config_engine.h"
+
+#include <algorithm>
+
+#include "common/crc32.h"
+
+namespace aad::mcu {
+
+ConfigureResult ConfigEngine::configure(
+    const memory::RomImage& rom, const memory::RomRecord& record,
+    std::span<const fabric::FrameIndex> targets, fabric::Fabric& fabric,
+    const memory::RomTiming& rom_timing, sim::Trace* trace,
+    sim::SimTime start) {
+  const auto& geometry = fabric.geometry();
+  AAD_REQUIRE(record.frames == targets.size(),
+              "target frame count does not match the record footprint");
+  AAD_REQUIRE(record.clb_rows == geometry.clb_rows,
+              "bitstream was built for a different device geometry");
+  const std::size_t frame_bytes = geometry.frame_bytes();
+  AAD_REQUIRE(record.raw_size ==
+                  frame_bytes * static_cast<std::size_t>(record.frames),
+              "record raw size inconsistent with footprint");
+
+  const ByteSpan compressed = rom.payload(record);
+  if (Crc32::compute(compressed) != record.payload_crc)
+    AAD_FAIL(ErrorCode::kCorruptData,
+             "compressed payload CRC mismatch (ROM corruption)");
+
+  const auto codec = compress::make_codec(record.codec, frame_bytes);
+  auto stream = codec->decompress_stream(compressed);
+  if (stream->raw_size() != record.raw_size)
+    AAD_FAIL(ErrorCode::kCorruptData,
+             "compressed stream raw size disagrees with record");
+
+  // Per-window stage durations.  Compressed bytes arrive from ROM roughly
+  // evenly per window (the decoder consumes as it produces); the data path
+  // below is exact, only the ROM-stage apportioning is averaged.
+  const std::size_t windows = targets.size();
+  const std::size_t rom_bytes_per_window =
+      windows == 0 ? 0 : (compressed.size() + windows - 1) / windows;
+  const sim::SimTime rom_t = rom_timing.read_time(rom_bytes_per_window);
+  const double cpb = compress::decompress_cycles_per_byte(record.codec);
+  const sim::SimTime dec_t = config_.engine_clock.cycles(
+      static_cast<std::int64_t>(cpb * static_cast<double>(frame_bytes)));
+  const sim::SimTime cfg_t = fabric.port().frame_time(geometry);
+
+  ConfigureResult result;
+  result.compressed_bytes = compressed.size();
+  result.raw_bytes = record.raw_size;
+
+  // Pipeline recurrence over the three stages.
+  sim::SimTime rom_done = start;
+  sim::SimTime dec_done = start;
+  sim::SimTime cfg_done = start;
+
+  Bytes window(frame_bytes);
+  for (std::size_t w = 0; w < windows; ++w) {
+    // Exact data path: pull one frame-sized window from the decompressor.
+    std::size_t got = 0;
+    while (got < frame_bytes) {
+      const std::size_t n = stream->read(
+          std::span<Byte>(window.data() + got, frame_bytes - got));
+      if (n == 0)
+        AAD_FAIL(ErrorCode::kCorruptData,
+                 "configuration stream ended mid-frame");
+      got += n;
+    }
+    const auto words = bitstream::bytes_to_words(window);
+
+    // Difference-based flow: skip the port write if the frame already holds
+    // exactly this configuration (readback compare).
+    bool skip = false;
+    if (config_.difference_based) {
+      const auto current = fabric.memory().read_frame(targets[w]);
+      skip = std::equal(words.begin(), words.end(), current.begin());
+    }
+    sim::SimTime this_cfg_t = cfg_t;
+    if (skip) {
+      ++result.frames_skipped;
+      this_cfg_t = config_.engine_clock.cycles(static_cast<std::int64_t>(
+          config_.compare_cycles_per_byte * static_cast<double>(frame_bytes)));
+    } else {
+      fabric.configure_frame(targets[w], words);
+    }
+
+    // Timing: stage chaining.
+    const sim::SimTime rom_begin = rom_done;
+    rom_done = rom_done + rom_t;
+    const sim::SimTime dec_begin = std::max(rom_done, dec_done);
+    dec_done = dec_begin + dec_t;
+    const sim::SimTime cfg_begin = std::max(dec_done, cfg_done);
+    cfg_done = cfg_begin + this_cfg_t;
+
+    result.rom_bound += rom_t;
+    result.decompress_bound += dec_t;
+    result.config_bound += this_cfg_t;
+
+    if (trace) {
+      trace->record(sim::Stage::kRom, record.name + "/rom", rom_begin,
+                    rom_done);
+      trace->record(sim::Stage::kDecompress, record.name + "/dec", dec_begin,
+                    dec_done);
+      trace->record(sim::Stage::kConfigure,
+                    record.name + "/frame" + std::to_string(targets[w]),
+                    cfg_begin, cfg_done);
+    }
+  }
+  Byte probe;
+  if (stream->read(std::span<Byte>(&probe, 1)) != 0)
+    AAD_FAIL(ErrorCode::kCorruptData,
+             "configuration stream longer than the record footprint");
+
+  result.total = cfg_done - start;
+  result.frames_written = windows - result.frames_skipped;
+  return result;
+}
+
+}  // namespace aad::mcu

@@ -1,0 +1,71 @@
+// The configuration module (paper §2.3): "decompresses the compressed
+// bit-stream window by window and passes the configuration bit-stream to
+// the FPGA to configure it."
+//
+// One window = one frame.  The engine streams the record's compressed bytes
+// out of ROM, pulls frame-sized windows from the codec's streaming
+// decompressor, and writes each window into the fabric through the
+// configuration port — verifying the payload CRC as it goes.
+//
+// Timing is a three-stage pipeline (ROM read | decompress | config port):
+// window w's stage can start only when the same stage finished window w-1
+// and the previous stage finished window w.  This is how the real module
+// overlaps flash reads with SelectMAP writes, and it is what makes
+// decompression nearly free for all but the slowest codecs (E2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "memory/rom.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace aad::mcu {
+
+struct ConfigEngineConfig {
+  /// Decompressor clock (the configuration module's logic).
+  sim::Frequency engine_clock = sim::Frequency::mhz(66);
+  /// Difference-based flow (the paper's ref [4], XAPP290): compare each
+  /// decompressed window against the frame's current configuration and
+  /// skip the config-port write when they already match.  Re-loading a
+  /// function into the frames it occupied before eviction then costs only
+  /// the ROM + decompress stages.  The compare itself costs
+  /// `compare_cycles_per_byte` on the engine clock.
+  bool difference_based = false;
+  double compare_cycles_per_byte = 0.25;
+};
+
+struct ConfigureResult {
+  sim::SimTime total;
+  sim::SimTime rom_bound;         ///< sum of ROM-read stage times
+  sim::SimTime decompress_bound;  ///< sum of decompress stage times
+  sim::SimTime config_bound;      ///< sum of config-port stage times
+  std::size_t frames_written = 0;
+  std::size_t frames_skipped = 0; ///< difference-based matches
+  std::size_t compressed_bytes = 0;
+  std::size_t raw_bytes = 0;
+};
+
+class ConfigEngine {
+ public:
+  explicit ConfigEngine(const ConfigEngineConfig& config = {})
+      : config_(config) {}
+
+  /// Stream `record`'s payload from `rom` into `targets` (one frame per
+  /// window, in logical order).  Returns the pipelined timing breakdown.
+  /// Throws kCorruptData on CRC mismatch or malformed stream,
+  /// kInvalidArgument when the record's footprint does not match `targets`.
+  ConfigureResult configure(const memory::RomImage& rom,
+                            const memory::RomRecord& record,
+                            std::span<const fabric::FrameIndex> targets,
+                            fabric::Fabric& fabric,
+                            const memory::RomTiming& rom_timing,
+                            sim::Trace* trace, sim::SimTime start);
+
+ private:
+  ConfigEngineConfig config_;
+};
+
+}  // namespace aad::mcu

@@ -1,0 +1,131 @@
+#include "mcu/free_frame_list.h"
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace aad::mcu {
+
+const char* to_string(AllocationStrategy strategy) noexcept {
+  switch (strategy) {
+    case AllocationStrategy::kFirstFitContiguous: return "first-fit";
+    case AllocationStrategy::kBestFitContiguous: return "best-fit";
+    case AllocationStrategy::kGatherScattered: return "gather";
+  }
+  return "?";
+}
+
+FreeFrameList::FreeFrameList(unsigned frame_count)
+    : free_(frame_count, true), free_frames_(frame_count) {
+  AAD_REQUIRE(frame_count >= 1, "device must have at least one frame");
+}
+
+bool FreeFrameList::is_free(fabric::FrameIndex frame) const {
+  AAD_REQUIRE(frame < free_.size(), "frame index out of range");
+  return free_[frame];
+}
+
+std::optional<std::vector<fabric::FrameIndex>>
+FreeFrameList::allocate_contiguous(unsigned count, bool best_fit) {
+  unsigned best_start = 0;
+  unsigned best_len = 0;
+  bool found = false;
+  unsigned i = 0;
+  const unsigned n = frame_count();
+  while (i < n) {
+    if (!free_[i]) {
+      ++i;
+      continue;
+    }
+    unsigned run_start = i;
+    while (i < n && free_[i]) ++i;
+    const unsigned run_len = i - run_start;
+    if (run_len < count) continue;
+    if (!found || (best_fit ? run_len < best_len : false)) {
+      found = true;
+      best_start = run_start;
+      best_len = run_len;
+      if (!best_fit) break;  // first fit: take the lowest run immediately
+    }
+  }
+  if (!found) return std::nullopt;
+  std::vector<fabric::FrameIndex> frames(count);
+  std::iota(frames.begin(), frames.end(), best_start);
+  for (fabric::FrameIndex f : frames) free_[f] = false;
+  free_frames_ -= count;
+  return frames;
+}
+
+std::optional<std::vector<fabric::FrameIndex>> FreeFrameList::allocate(
+    unsigned count, AllocationStrategy strategy) {
+  AAD_REQUIRE(count >= 1, "allocation must request at least one frame");
+  if (count > free_frames_) return std::nullopt;
+  switch (strategy) {
+    case AllocationStrategy::kFirstFitContiguous:
+      return allocate_contiguous(count, /*best_fit=*/false);
+    case AllocationStrategy::kBestFitContiguous:
+      return allocate_contiguous(count, /*best_fit=*/true);
+    case AllocationStrategy::kGatherScattered: {
+      std::vector<fabric::FrameIndex> frames;
+      frames.reserve(count);
+      for (unsigned f = 0; f < free_.size() && frames.size() < count; ++f)
+        if (free_[f]) frames.push_back(f);
+      AAD_CHECK(frames.size() == count, "free counter out of sync");
+      for (fabric::FrameIndex f : frames) free_[f] = false;
+      free_frames_ -= count;
+      return frames;
+    }
+  }
+  return std::nullopt;
+}
+
+void FreeFrameList::release(std::span<const fabric::FrameIndex> frames) {
+  for (fabric::FrameIndex f : frames) {
+    AAD_REQUIRE(f < free_.size(), "release of out-of-range frame");
+    AAD_REQUIRE(!free_[f], "double release of frame " + std::to_string(f));
+    free_[f] = true;
+  }
+  free_frames_ += static_cast<unsigned>(frames.size());
+}
+
+void FreeFrameList::claim(std::span<const fabric::FrameIndex> frames) {
+  for (fabric::FrameIndex f : frames) {
+    AAD_REQUIRE(f < free_.size(), "claim of out-of-range frame");
+    AAD_REQUIRE(free_[f], "claim of occupied frame " + std::to_string(f));
+  }
+  for (fabric::FrameIndex f : frames) free_[f] = false;
+  free_frames_ -= static_cast<unsigned>(frames.size());
+}
+
+void FreeFrameList::reset() {
+  std::fill(free_.begin(), free_.end(), true);
+  free_frames_ = frame_count();
+}
+
+unsigned FreeFrameList::largest_free_run() const noexcept {
+  unsigned best = 0;
+  unsigned run = 0;
+  for (bool f : free_) {
+    run = f ? run + 1 : 0;
+    if (run > best) best = run;
+  }
+  return best;
+}
+
+unsigned FreeFrameList::free_run_count() const noexcept {
+  unsigned runs = 0;
+  bool in_run = false;
+  for (bool f : free_) {
+    if (f && !in_run) ++runs;
+    in_run = f;
+  }
+  return runs;
+}
+
+double FreeFrameList::external_fragmentation() const noexcept {
+  if (free_frames_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_run()) /
+                   static_cast<double>(free_frames_);
+}
+
+}  // namespace aad::mcu

@@ -1,0 +1,297 @@
+#include "mcu/mcu.h"
+
+#include <algorithm>
+
+namespace aad::mcu {
+
+Mcu::Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
+         const RuntimeRegistry& runtime, const McuConfig& config)
+    : fabric_(fabric),
+      scheduler_(scheduler),
+      trace_(trace),
+      runtime_(runtime),
+      config_(config),
+      rom_(config.rom_capacity),
+      ram_(config.ram_capacity),
+      engine_(config.engine),
+      free_list_(fabric.geometry().frame_count),
+      policy_(make_policy(config.policy, config.policy_seed)) {}
+
+sim::SimTime Mcu::firmware_delay(unsigned cycles) {
+  const sim::SimTime t = config_.mcu_clock.cycles(cycles);
+  const sim::SimTime begin = scheduler_.now();
+  scheduler_.advance(t);
+  trace_.record(sim::Stage::kFirmware, "firmware", begin, scheduler_.now());
+  return t;
+}
+
+memory::RomRecord Mcu::store_function(memory::FunctionId id,
+                                      const bitstream::Bitstream& bs,
+                                      std::optional<compress::CodecId> codec) {
+  const auto& geometry = fabric_.geometry();
+  AAD_REQUIRE(bs.info.geometry == geometry,
+              "bitstream geometry does not match this device");
+  AAD_REQUIRE(bs.frame_count() <= geometry.frame_count,
+              "function larger than the whole device");
+
+  const compress::CodecId chosen = codec.value_or(config_.codec);
+  const Bytes raw = bitstream::pack_frame_payloads(bs);
+  const auto codec_impl =
+      compress::make_codec(chosen, geometry.frame_bytes());
+  const Bytes compressed = codec_impl->compress(raw);
+
+  memory::RomRecord record;
+  record.function_id = id;
+  record.name = bs.info.name;
+  record.kind = bs.info.kind;
+  record.codec = chosen;
+  record.raw_size = static_cast<std::uint32_t>(raw.size());
+  record.frames = static_cast<std::uint16_t>(bs.frame_count());
+  record.clb_rows = static_cast<std::uint16_t>(geometry.clb_rows);
+  record.input_width = bs.info.input_width;
+  record.output_width = bs.info.output_width;
+  record.kernel_id = bs.info.kernel_id;
+
+  const memory::RomRecord stored = rom_.store(record, compressed);
+
+  const sim::SimTime begin = scheduler_.now();
+  scheduler_.advance(config_.rom_timing.write_time(compressed.size() +
+                                                   memory::kRecordBytes));
+  trace_.record(sim::Stage::kRom, bs.info.name + "/program", begin,
+                scheduler_.now());
+  return stored;
+}
+
+std::vector<memory::FunctionId> Mcu::resident_functions() const {
+  std::vector<memory::FunctionId> out;
+  out.reserve(loaded_.size());
+  for (const auto& [id, fn] : loaded_) out.push_back(id);
+  return out;
+}
+
+void Mcu::evict_locked(memory::FunctionId id) {
+  const auto it = loaded_.find(id);
+  AAD_CHECK(it != loaded_.end(), "evicting a non-resident function");
+  free_list_.release(it->second.frames);
+  policy_->on_evict(id);
+  table_.erase(id);
+  loaded_.erase(it);
+  ++stats_.evictions;
+  firmware_delay(config_.eviction_overhead_cycles);
+}
+
+void Mcu::evict(memory::FunctionId id) {
+  AAD_REQUIRE(loaded_.contains(id), "function not resident");
+  evict_locked(id);
+}
+
+DefragResult Mcu::defragment() {
+  DefragResult result;
+  const sim::SimTime begin = scheduler_.now();
+  ++stats_.defragmentations;
+
+  // Pack resident functions toward frame 0, in ascending order of their
+  // current lowest frame, relocating each by re-streaming it from ROM.
+  // Processing left-to-right guarantees a function's target region only
+  // overlaps frames that are already free or its own old ones.
+  std::vector<std::pair<fabric::FrameIndex, memory::FunctionId>> order;
+  for (const auto& [id, fn] : loaded_)
+    order.emplace_back(fn.frames.front(), id);
+  std::sort(order.begin(), order.end());
+
+  fabric::FrameIndex next = 0;
+  for (const auto& [first, id] : order) {
+    (void)first;
+    auto& fn = loaded_.at(id);
+    std::vector<fabric::FrameIndex> target(fn.record.frames);
+    for (std::size_t i = 0; i < target.size(); ++i)
+      target[i] = next + static_cast<fabric::FrameIndex>(i);
+    if (target == fn.frames) {  // already packed
+      next += fn.record.frames;
+      continue;
+    }
+    free_list_.release(fn.frames);
+    free_list_.claim(target);
+    const ConfigureResult cfg =
+        engine_.configure(rom_, fn.record, target, fabric_,
+                          config_.rom_timing, &trace_, scheduler_.now());
+    scheduler_.advance(cfg.total);
+    stats_.frames_configured += cfg.frames_written;
+    stats_.frames_skipped += cfg.frames_skipped;
+    stats_.compressed_bytes_streamed += cfg.compressed_bytes;
+
+    fn.frames = target;
+    fn.network.reset();
+    fn.executor.reset();
+    table_.at(id).frames = target;
+    ++result.functions_moved;
+    result.frames_reconfigured += cfg.frames_written;
+    firmware_delay(config_.eviction_overhead_cycles);
+    next += fn.record.frames;
+  }
+  result.time = scheduler_.now() - begin;
+  return result;
+}
+
+void Mcu::reset_fabric() {
+  loaded_.clear();
+  table_.clear();
+  free_list_.reset();
+  fabric_.erase();
+}
+
+LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
+  LoadResult result;
+
+  if (const auto it = loaded_.find(id); it != loaded_.end()) {
+    // Config hit: just refresh the Frame Replacement Table timestamp.
+    result.hit = true;
+    auto& entry = table_.at(id);
+    entry.last_access = scheduler_.now();
+    ++entry.access_count;
+    policy_->on_access(id, scheduler_.now());
+    ++stats_.config_hits;
+    return result;
+  }
+
+  const auto record = rom_.lookup(id);
+  if (!record)
+    AAD_FAIL(ErrorCode::kNotFound,
+             "function " + std::to_string(id) + " not provisioned in ROM");
+  AAD_REQUIRE(record->frames <= fabric_.geometry().frame_count,
+              "function larger than the device");
+  ++stats_.config_misses;
+
+  // Allocation / eviction loop (§2.5): "if the Free Frame list is
+  // insufficient ... some functions from the FPGA have to be erased".
+  std::optional<std::vector<fabric::FrameIndex>> frames;
+  bool tried_defrag = false;
+  for (;;) {
+    frames = free_list_.allocate(record->frames, config_.allocation);
+    if (frames) break;
+    ++stats_.allocation_retries;
+    // Under pure external fragmentation, one compaction pass can satisfy a
+    // contiguous request without evicting anyone.
+    if (!tried_defrag && config_.defragment_on_pressure &&
+        free_list_.free_count() >= record->frames) {
+      tried_defrag = true;
+      defragment();
+      continue;
+    }
+    const auto resident = resident_functions();
+    if (resident.empty())
+      AAD_FAIL(ErrorCode::kCapacityExceeded,
+               "cannot place function even on an empty device "
+               "(fragmentation-free allocation impossible)");
+    const memory::FunctionId victim =
+        policy_->choose_victim(resident, table_);
+    evict_locked(victim);
+    ++result.evictions;
+  }
+
+  // Stream ROM -> decompress -> config port, window by window.
+  const sim::SimTime begin = scheduler_.now();
+  const ConfigureResult cfg = engine_.configure(
+      rom_, *record, *frames, fabric_, config_.rom_timing, &trace_, begin);
+  scheduler_.advance(cfg.total);
+  stats_.frames_configured += cfg.frames_written;
+  stats_.frames_skipped += cfg.frames_skipped;
+  stats_.compressed_bytes_streamed += cfg.compressed_bytes;
+
+  LoadedFunction fn;
+  fn.record = *record;
+  fn.frames = *frames;
+  loaded_.emplace(id, std::move(fn));
+
+  FrameTableEntry entry;
+  entry.frames = *frames;
+  entry.loaded_at = scheduler_.now();
+  entry.last_access = scheduler_.now();
+  entry.access_count = 1;
+  table_.emplace(id, std::move(entry));
+
+  policy_->on_load(id, scheduler_.now());
+  policy_->on_access(id, scheduler_.now());
+
+  firmware_delay(config_.command_overhead_cycles);
+  result.frames_configured = static_cast<unsigned>(cfg.frames_written);
+  result.reconfig_time = scheduler_.now() - begin;
+  return result;
+}
+
+netlist::LutExecutor& Mcu::executor_for(LoadedFunction& fn) {
+  if (!fn.executor) {
+    fn.network = std::make_unique<netlist::LutNetwork>(fabric_.extract_network(
+        fn.frames, fn.record.name, fn.record.input_width,
+        fn.record.output_width));
+    fn.executor = std::make_unique<netlist::LutExecutor>(*fn.network);
+  }
+  return *fn.executor;
+}
+
+InvokeResult Mcu::invoke(memory::FunctionId id, ByteSpan input) {
+  InvokeResult result;
+  ++stats_.invocations;
+
+  result.firmware_time += firmware_delay(config_.command_overhead_cycles);
+  result.load = ensure_loaded(id);
+
+  auto& fn = loaded_.at(id);
+
+  // Data-input module: host payload is already in local RAM (PCI layer);
+  // stage it to the fabric.
+  ram_.reset_allocation();
+  const std::size_t in_off = ram_.allocate(input.size());
+  ram_.write(in_off, input);
+  {
+    const sim::SimTime begin = scheduler_.now();
+    // The data-input module streams from RAM to the fabric as it reads.
+    scheduler_.advance(config_.ram_timing.access_time(input.size()));
+    trace_.record(sim::Stage::kDataIn, fn.record.name + "/in", begin,
+                  scheduler_.now());
+    result.io_time += scheduler_.now() - begin;
+  }
+
+  // Execute.
+  HardwareResult hw;
+  if (fn.record.kind == bitstream::FunctionKind::kNetlist) {
+    auto& executor = executor_for(fn);
+    executor.reset();
+    if (runtime_.has_netlist_driver(fn.record.kernel_id)) {
+      hw = runtime_.netlist_driver(fn.record.kernel_id)(executor, input);
+    } else {
+      hw = RuntimeRegistry::run_combinational(
+          executor, input, fn.record.input_width, fn.record.output_width);
+    }
+  } else {
+    const BehavioralModel& model = runtime_.behavioral(fn.record.kernel_id);
+    hw.output = model.compute(input);
+    hw.cycles = model.cycles(input.size());
+  }
+  {
+    const sim::SimTime begin = scheduler_.now();
+    scheduler_.advance(fabric_.execution_time(hw.cycles));
+    trace_.record(sim::Stage::kExecute, fn.record.name + "/exec", begin,
+                  scheduler_.now());
+    result.exec_time = scheduler_.now() - begin;
+  }
+  result.exec_cycles = hw.cycles;
+
+  // Output-collection module: stage result through local RAM.
+  const std::size_t out_off = ram_.allocate(hw.output.size());
+  ram_.write(out_off, hw.output);
+  {
+    const sim::SimTime begin = scheduler_.now();
+    scheduler_.advance(config_.ram_timing.access_time(hw.output.size()));
+    trace_.record(sim::Stage::kDataOut, fn.record.name + "/out", begin,
+                  scheduler_.now());
+    result.io_time += scheduler_.now() - begin;
+  }
+
+  result.output = std::move(hw.output);
+  result.total = result.firmware_time + result.load.reconfig_time +
+                 result.exec_time + result.io_time;
+  return result;
+}
+
+}  // namespace aad::mcu

@@ -1,0 +1,166 @@
+// The PCI-based microcontroller and its mini-OS (paper §2.3, §2.5).
+//
+// Owns the ROM, the local RAM, the configuration engine, the Free Frame
+// List and the Frame Replacement Table; executes the on-demand algorithm:
+//
+//   "When the host requests the execution of a particular algorithm ... the
+//    micro-controller is responsible for configuring the FPGA with that
+//    relevant configuration bit-stream if the function is not already
+//    present on the FPGA."
+//
+// ensure_loaded() is that algorithm verbatim: hit check, Free Frame List
+// allocation, eviction loop driven by the Frame Replacement Policy, then
+// streaming configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fabric/fabric.h"
+#include "mcu/config_engine.h"
+#include "mcu/free_frame_list.h"
+#include "mcu/replacement.h"
+#include "mcu/runtime.h"
+#include "memory/ram.h"
+#include "memory/rom.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace aad::mcu {
+
+struct McuConfig {
+  sim::Frequency mcu_clock = sim::Frequency::mhz(66);
+  unsigned command_overhead_cycles = 400;   ///< firmware per command
+  unsigned eviction_overhead_cycles = 120;  ///< table + free-list updates
+  AllocationStrategy allocation = AllocationStrategy::kFirstFitContiguous;
+  /// When a contiguous allocation fails despite enough total free frames,
+  /// compact the resident functions once before resorting to eviction.
+  bool defragment_on_pressure = false;
+  PolicyKind policy = PolicyKind::kLru;
+  std::uint64_t policy_seed = 1;
+  compress::CodecId codec = compress::CodecId::kFrameDelta;
+  memory::RomTiming rom_timing;
+  memory::RamTiming ram_timing;
+  ConfigEngineConfig engine;
+  std::size_t rom_capacity = 512 * 1024;
+  std::size_t ram_capacity = 64 * 1024;
+};
+
+struct LoadResult {
+  bool hit = false;                 ///< function was already resident
+  unsigned frames_configured = 0;
+  unsigned evictions = 0;
+  sim::SimTime reconfig_time;       ///< zero on hit
+};
+
+struct InvokeResult {
+  Bytes output;
+  LoadResult load;
+  std::int64_t exec_cycles = 0;
+  sim::SimTime exec_time;
+  sim::SimTime io_time;             ///< data-in + data-out staging
+  sim::SimTime firmware_time;
+  sim::SimTime total;
+};
+
+struct McuStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t config_hits = 0;
+  std::uint64_t config_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t frames_configured = 0;
+  std::uint64_t frames_skipped = 0;      ///< difference-based matches
+  std::uint64_t allocation_retries = 0;  ///< contiguous-alloc failures
+  std::uint64_t defragmentations = 0;
+  std::uint64_t compressed_bytes_streamed = 0;
+};
+
+/// Outcome of a mini-OS compaction pass.
+struct DefragResult {
+  unsigned functions_moved = 0;
+  unsigned frames_reconfigured = 0;
+  sim::SimTime time;
+};
+
+class Mcu {
+ public:
+  Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
+      const RuntimeRegistry& runtime, const McuConfig& config = {});
+
+  // --- provisioning (host -> ROM, via PCI at the core layer) --------------
+
+  /// Compress `bitstream`'s frame payloads with `codec` (or the configured
+  /// default) and store stream + record in ROM.  Advances simulated time by
+  /// the ROM programming cost.
+  memory::RomRecord store_function(
+      memory::FunctionId id, const bitstream::Bitstream& bitstream,
+      std::optional<compress::CodecId> codec = std::nullopt);
+
+  // --- the on-demand path --------------------------------------------------
+
+  /// Make `id` resident (§2.5's algorithm).  Advances simulated time.
+  LoadResult ensure_loaded(memory::FunctionId id);
+
+  /// Execute `id` on `input`.  Loads on demand, stages data through local
+  /// RAM, runs on the fabric, collects the output.  Advances simulated time.
+  InvokeResult invoke(memory::FunctionId id, ByteSpan input);
+
+  /// Explicitly evict a resident function (host-directed swap-out).
+  void evict(memory::FunctionId id);
+
+  /// Compact resident functions toward frame 0 by relocating them
+  /// (re-streaming each from ROM — legal because bitstreams are
+  /// slot-relative).  Leaves one contiguous free region.  Advances time.
+  DefragResult defragment();
+
+  /// Drop all resident functions and erase the fabric (device reset).
+  void reset_fabric();
+
+  // --- inspection ----------------------------------------------------------
+  bool is_resident(memory::FunctionId id) const {
+    return loaded_.contains(id);
+  }
+  std::vector<memory::FunctionId> resident_functions() const;
+  const FrameReplacementTable& frame_table() const noexcept { return table_; }
+  const FreeFrameList& free_frames() const noexcept { return free_list_; }
+  const memory::RomImage& rom() const noexcept { return rom_; }
+  memory::RomImage& rom() noexcept { return rom_; }
+  const memory::LocalRam& ram() const noexcept { return ram_; }
+  const McuStats& stats() const noexcept { return stats_; }
+  ReplacementPolicy& policy() noexcept { return *policy_; }
+  const McuConfig& config() const noexcept { return config_; }
+
+ private:
+  struct LoadedFunction {
+    memory::RomRecord record;
+    std::vector<fabric::FrameIndex> frames;
+    // Netlist functions: the executable network, rebuilt from the
+    // configuration plane on first use after (re)configuration.
+    std::unique_ptr<netlist::LutNetwork> network;
+    std::unique_ptr<netlist::LutExecutor> executor;
+  };
+
+  sim::SimTime firmware_delay(unsigned cycles);
+  void evict_locked(memory::FunctionId id);
+  netlist::LutExecutor& executor_for(LoadedFunction& fn);
+
+  fabric::Fabric& fabric_;
+  sim::Scheduler& scheduler_;
+  sim::Trace& trace_;
+  const RuntimeRegistry& runtime_;
+  McuConfig config_;
+
+  memory::RomImage rom_;
+  memory::LocalRam ram_;
+  ConfigEngine engine_;
+  FreeFrameList free_list_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  FrameReplacementTable table_;
+  std::map<memory::FunctionId, LoadedFunction> loaded_;
+  McuStats stats_;
+};
+
+}  // namespace aad::mcu

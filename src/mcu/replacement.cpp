@@ -1,0 +1,184 @@
+#include "mcu/replacement.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace aad::mcu {
+
+const char* to_string(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kLfu: return "lfu";
+    case PolicyKind::kRandom: return "random";
+    case PolicyKind::kBelady: return "belady";
+  }
+  return "?";
+}
+
+void ReplacementPolicy::set_future(std::vector<FunctionId> /*future*/) {}
+
+namespace {
+
+/// LRU straight from the Frame Replacement Table's timestamps.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kLru; }
+  std::string name() const override { return "lru"; }
+  void on_load(FunctionId, sim::SimTime) override {}
+  void on_access(FunctionId, sim::SimTime) override {}
+  void on_evict(FunctionId) override {}
+
+  FunctionId choose_victim(std::span<const FunctionId> resident,
+                           const FrameReplacementTable& table) override {
+    AAD_REQUIRE(!resident.empty(), "no resident function to evict");
+    FunctionId victim = resident[0];
+    sim::SimTime oldest = sim::SimTime::ps(
+        std::numeric_limits<std::int64_t>::max());
+    for (FunctionId fn : resident) {
+      const auto it = table.find(fn);
+      AAD_CHECK(it != table.end(), "resident function missing from table");
+      if (it->second.last_access < oldest) {
+        oldest = it->second.last_access;
+        victim = fn;
+      }
+    }
+    return victim;
+  }
+};
+
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kFifo; }
+  std::string name() const override { return "fifo"; }
+  void on_load(FunctionId fn, sim::SimTime) override { order_.push_back(fn); }
+  void on_access(FunctionId, sim::SimTime) override {}
+  void on_evict(FunctionId fn) override {
+    order_.erase(std::remove(order_.begin(), order_.end(), fn), order_.end());
+  }
+
+  FunctionId choose_victim(std::span<const FunctionId> resident,
+                           const FrameReplacementTable&) override {
+    for (FunctionId fn : order_)
+      if (std::find(resident.begin(), resident.end(), fn) != resident.end())
+        return fn;
+    AAD_FAIL(ErrorCode::kInternal, "FIFO order lost track of residents");
+  }
+
+ private:
+  std::vector<FunctionId> order_;
+};
+
+class LfuPolicy final : public ReplacementPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kLfu; }
+  std::string name() const override { return "lfu"; }
+  void on_load(FunctionId, sim::SimTime) override {}
+  void on_access(FunctionId, sim::SimTime) override {}
+  void on_evict(FunctionId) override {}
+
+  FunctionId choose_victim(std::span<const FunctionId> resident,
+                           const FrameReplacementTable& table) override {
+    AAD_REQUIRE(!resident.empty(), "no resident function to evict");
+    FunctionId victim = resident[0];
+    std::uint64_t fewest = std::numeric_limits<std::uint64_t>::max();
+    sim::SimTime oldest = sim::SimTime::ps(
+        std::numeric_limits<std::int64_t>::max());
+    for (FunctionId fn : resident) {
+      const auto it = table.find(fn);
+      AAD_CHECK(it != table.end(), "resident function missing from table");
+      const auto& e = it->second;
+      // Tie-break equal frequencies by LRU so behaviour is deterministic.
+      if (e.access_count < fewest ||
+          (e.access_count == fewest && e.last_access < oldest)) {
+        fewest = e.access_count;
+        oldest = e.last_access;
+        victim = fn;
+      }
+    }
+    return victim;
+  }
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+  PolicyKind kind() const noexcept override { return PolicyKind::kRandom; }
+  std::string name() const override { return "random"; }
+  void on_load(FunctionId, sim::SimTime) override {}
+  void on_access(FunctionId, sim::SimTime) override {}
+  void on_evict(FunctionId) override {}
+
+  FunctionId choose_victim(std::span<const FunctionId> resident,
+                           const FrameReplacementTable&) override {
+    AAD_REQUIRE(!resident.empty(), "no resident function to evict");
+    return resident[rng_.next_below(resident.size())];
+  }
+
+ private:
+  Prng rng_;
+};
+
+/// Clairvoyant: evict the resident whose next use is farthest away (or
+/// never).  Tracks its own position in the provided future trace via
+/// on_access calls.
+class BeladyPolicy final : public ReplacementPolicy {
+ public:
+  PolicyKind kind() const noexcept override { return PolicyKind::kBelady; }
+  std::string name() const override { return "belady"; }
+
+  void set_future(std::vector<FunctionId> future) override {
+    future_ = std::move(future);
+    cursor_ = 0;
+  }
+
+  void on_load(FunctionId, sim::SimTime) override {}
+  void on_access(FunctionId fn, sim::SimTime) override {
+    // Keep the cursor in lock-step with the request stream.
+    if (cursor_ < future_.size() && future_[cursor_] == fn) ++cursor_;
+  }
+  void on_evict(FunctionId) override {}
+
+  FunctionId choose_victim(std::span<const FunctionId> resident,
+                           const FrameReplacementTable&) override {
+    AAD_REQUIRE(!resident.empty(), "no resident function to evict");
+    FunctionId victim = resident[0];
+    std::size_t farthest = 0;
+    for (FunctionId fn : resident) {
+      std::size_t next = future_.size() + 1;  // "never used again"
+      for (std::size_t i = cursor_; i < future_.size(); ++i) {
+        if (future_[i] == fn) {
+          next = i;
+          break;
+        }
+      }
+      if (next > farthest) {
+        farthest = next;
+        victim = fn;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  std::vector<FunctionId> future_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind,
+                                               std::uint64_t seed) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(seed);
+    case PolicyKind::kBelady: return std::make_unique<BeladyPolicy>();
+  }
+  AAD_FAIL(ErrorCode::kInvalidArgument, "unknown policy kind");
+}
+
+}  // namespace aad::mcu

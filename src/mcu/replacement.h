@@ -1,0 +1,74 @@
+// Frame Replacement Policy and Frame Replacement Table (paper §2.5).
+//
+// The paper prescribes LRU: "the frames that are to be replaced ... makes
+// those frames that belong to the frequently least used Algorithm potential
+// candidates for replacement ... That algorithm which has the oldest time
+// stamp provides extra frames for potential reconfiguration."
+//
+// We implement LRU exactly as described (via the Frame Replacement Table's
+// last-access timestamps) plus FIFO / LFU / Random baselines and a Belady
+// oracle upper bound for experiment E3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "fabric/geometry.h"
+#include "sim/time.h"
+
+namespace aad::mcu {
+
+using FunctionId = std::uint32_t;
+
+/// One row of the paper's Frame Replacement Table: "the list of frames
+/// occupied by each algorithm present on the FPGA along with a time stamp
+/// specifying the last moment at which it was accessed."
+struct FrameTableEntry {
+  std::vector<fabric::FrameIndex> frames;
+  sim::SimTime loaded_at;
+  sim::SimTime last_access;
+  std::uint64_t access_count = 0;
+};
+
+/// The table itself, keyed by resident algorithm.
+using FrameReplacementTable = std::map<FunctionId, FrameTableEntry>;
+
+enum class PolicyKind : std::uint8_t {
+  kLru = 0,    ///< the paper's policy
+  kFifo = 1,
+  kLfu = 2,
+  kRandom = 3,
+  kBelady = 4, ///< clairvoyant upper bound (needs the future trace)
+};
+
+const char* to_string(PolicyKind kind) noexcept;
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  virtual PolicyKind kind() const noexcept = 0;
+  virtual std::string name() const = 0;
+
+  virtual void on_load(FunctionId fn, sim::SimTime now) = 0;
+  virtual void on_access(FunctionId fn, sim::SimTime now) = 0;
+  virtual void on_evict(FunctionId fn) = 0;
+
+  /// Pick a victim among the resident functions (never empty).  `table`
+  /// provides the Frame Replacement Table the paper's mini-OS consults.
+  virtual FunctionId choose_victim(
+      std::span<const FunctionId> resident,
+      const FrameReplacementTable& table) = 0;
+
+  /// Belady only: provide the upcoming request sequence.  Default no-op.
+  virtual void set_future(std::vector<FunctionId> future);
+};
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind,
+                                               std::uint64_t seed = 1);
+
+}  // namespace aad::mcu

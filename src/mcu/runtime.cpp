@@ -1,0 +1,71 @@
+#include "mcu/runtime.h"
+
+#include "common/error.h"
+
+namespace aad::mcu {
+
+void RuntimeRegistry::register_netlist_driver(std::uint32_t kernel_id,
+                                              NetlistDriver driver) {
+  AAD_REQUIRE(driver != nullptr, "null netlist driver");
+  const auto [it, inserted] = netlist_.emplace(kernel_id, std::move(driver));
+  (void)it;
+  AAD_REQUIRE(inserted, "netlist driver already registered");
+}
+
+void RuntimeRegistry::register_behavioral(std::uint32_t kernel_id,
+                                          BehavioralModel model) {
+  AAD_REQUIRE(model.compute != nullptr && model.cycles != nullptr,
+              "behavioral model incomplete");
+  const auto [it, inserted] = behavioral_.emplace(kernel_id, std::move(model));
+  (void)it;
+  AAD_REQUIRE(inserted, "behavioral model already registered");
+}
+
+bool RuntimeRegistry::has_netlist_driver(std::uint32_t kernel_id) const {
+  return netlist_.contains(kernel_id);
+}
+
+const NetlistDriver& RuntimeRegistry::netlist_driver(
+    std::uint32_t kernel_id) const {
+  const auto it = netlist_.find(kernel_id);
+  AAD_REQUIRE(it != netlist_.end(),
+              "no netlist driver for kernel " + std::to_string(kernel_id));
+  return it->second;
+}
+
+const BehavioralModel& RuntimeRegistry::behavioral(
+    std::uint32_t kernel_id) const {
+  const auto it = behavioral_.find(kernel_id);
+  AAD_REQUIRE(it != behavioral_.end(),
+              "no behavioral model for kernel " + std::to_string(kernel_id));
+  return it->second;
+}
+
+std::vector<bool> bytes_to_bits(ByteSpan bytes, std::size_t bit_count) {
+  std::vector<bool> bits(bit_count, false);
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    const std::size_t byte = i / 8;
+    if (byte < bytes.size()) bits[i] = (bytes[byte] >> (i % 8)) & 1u;
+  }
+  return bits;
+}
+
+Bytes bits_to_bytes(const std::vector<bool>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (bits[i]) out[i / 8] = static_cast<Byte>(out[i / 8] | (1u << (i % 8)));
+  return out;
+}
+
+HardwareResult RuntimeRegistry::run_combinational(
+    netlist::LutExecutor& executor, ByteSpan input, std::size_t input_width,
+    std::size_t output_width) {
+  AAD_REQUIRE(input.size() * 8 <= ((input_width + 7) / 8) * 8,
+              "input larger than the function's input bus");
+  const auto in_bits = bytes_to_bits(input, input_width);
+  const auto out_bits = executor.step(in_bits);
+  AAD_CHECK(out_bits.size() == output_width, "output bus width drifted");
+  return HardwareResult{bits_to_bytes(out_bits), 1};
+}
+
+}  // namespace aad::mcu

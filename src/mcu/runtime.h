@@ -1,0 +1,68 @@
+// Function runtime registry: how the microcontroller turns input bytes into
+// output bytes once a function is resident on the fabric.
+//
+// Netlist functions execute *from the configuration plane*: the MCU extracts
+// the LUT network out of the configured frames and steps it.  A per-kernel
+// NetlistDriver describes the data framing (how bytes map to input-bus beats
+// and output bits back to bytes); kernels without a registered driver get
+// the default single-shot combinational contract.
+//
+// Behavioral functions (the documented substitution for kernels too large
+// to gate-map) pair a software-exact compute with a calibrated cycle model;
+// the MCU charges fabric time from the model and takes the bytes from the
+// compute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/bytebuffer.h"
+#include "netlist/lutnetwork.h"
+
+namespace aad::mcu {
+
+struct HardwareResult {
+  Bytes output;
+  std::int64_t cycles = 0;  ///< fabric clock cycles consumed
+};
+
+/// Drives a resident netlist function for one invocation.
+using NetlistDriver =
+    std::function<HardwareResult(netlist::LutExecutor&, ByteSpan)>;
+
+struct BehavioralModel {
+  /// Bit-exact computation (the golden software implementation).
+  std::function<Bytes(ByteSpan)> compute;
+  /// Fabric cycles the hardware implementation would take on `input_bytes`.
+  std::function<std::int64_t(std::size_t input_bytes)> cycles;
+};
+
+class RuntimeRegistry {
+ public:
+  void register_netlist_driver(std::uint32_t kernel_id, NetlistDriver driver);
+  void register_behavioral(std::uint32_t kernel_id, BehavioralModel model);
+
+  bool has_netlist_driver(std::uint32_t kernel_id) const;
+  const NetlistDriver& netlist_driver(std::uint32_t kernel_id) const;
+  const BehavioralModel& behavioral(std::uint32_t kernel_id) const;
+
+  /// Default framing for unregistered netlist kernels: pack the input bytes
+  /// onto the input bus LSB-first (zero-padded), run a single combinational
+  /// step, and pack the output bus back into ceil(output_width/8) bytes.
+  static HardwareResult run_combinational(netlist::LutExecutor& executor,
+                                          ByteSpan input,
+                                          std::size_t input_width,
+                                          std::size_t output_width);
+
+ private:
+  std::map<std::uint32_t, NetlistDriver> netlist_;
+  std::map<std::uint32_t, BehavioralModel> behavioral_;
+};
+
+/// Bit packing helpers shared by drivers (LSB-first within each byte).
+std::vector<bool> bytes_to_bits(ByteSpan bytes, std::size_t bit_count);
+Bytes bits_to_bytes(const std::vector<bool>& bits);
+
+}  // namespace aad::mcu

@@ -1,0 +1,33 @@
+#include "memory/ram.h"
+
+#include <algorithm>
+
+namespace aad::memory {
+
+LocalRam::LocalRam(std::size_t capacity_bytes)
+    : storage_(capacity_bytes, 0) {
+  AAD_REQUIRE(capacity_bytes > 0, "RAM capacity must be positive");
+}
+
+std::size_t LocalRam::allocate(std::size_t bytes) {
+  if (bump_ + bytes > storage_.size())
+    AAD_FAIL(ErrorCode::kCapacityExceeded, "local RAM exhausted");
+  const std::size_t offset = bump_;
+  bump_ += bytes;
+  high_water_ = std::max(high_water_, bump_);
+  return offset;
+}
+
+void LocalRam::write(std::size_t offset, ByteSpan data) {
+  AAD_REQUIRE(offset + data.size() <= storage_.size(),
+              "RAM write out of range");
+  std::copy(data.begin(), data.end(),
+            storage_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+ByteSpan LocalRam::read(std::size_t offset, std::size_t bytes) const {
+  AAD_REQUIRE(offset + bytes <= storage_.size(), "RAM read out of range");
+  return ByteSpan(storage_.data() + offset, bytes);
+}
+
+}  // namespace aad::memory

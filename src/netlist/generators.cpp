@@ -1,0 +1,232 @@
+#include "netlist/generators.h"
+
+#include <deque>
+
+namespace aad::netlist {
+namespace {
+
+struct SumCarry {
+  NodeId sum;
+  NodeId carry;
+};
+
+SumCarry full_adder(Netlist& nl, NodeId a, NodeId b, NodeId cin) {
+  const NodeId axb = nl.add_xor(a, b);
+  const NodeId sum = nl.add_xor(axb, cin);
+  const NodeId carry = nl.add_or(nl.add_and(a, b), nl.add_and(axb, cin));
+  return {sum, carry};
+}
+
+SumCarry half_adder(Netlist& nl, NodeId a, NodeId b) {
+  return {nl.add_xor(a, b), nl.add_and(a, b)};
+}
+
+/// Ripple add of two bit-vectors (LSB first, possibly different widths);
+/// returns width max(w)+1 including the final carry.
+std::vector<NodeId> ripple_add(Netlist& nl, std::vector<NodeId> a,
+                               std::vector<NodeId> b) {
+  if (a.size() < b.size()) a.swap(b);
+  std::vector<NodeId> out;
+  out.reserve(a.size() + 1);
+  NodeId carry = kInvalidNode;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (i < b.size()) {
+      const SumCarry sc = (carry == kInvalidNode)
+                              ? half_adder(nl, a[i], b[i])
+                              : full_adder(nl, a[i], b[i], carry);
+      out.push_back(sc.sum);
+      carry = sc.carry;
+    } else if (carry != kInvalidNode) {
+      const SumCarry sc = half_adder(nl, a[i], carry);
+      out.push_back(sc.sum);
+      carry = sc.carry;
+    } else {
+      out.push_back(nl.add_buf(a[i]));
+    }
+  }
+  out.push_back(carry == kInvalidNode ? nl.add_const(false)
+                                      : nl.add_buf(carry));
+  return out;
+}
+
+}  // namespace
+
+Netlist make_ripple_adder(unsigned width) {
+  AAD_REQUIRE(width >= 1, "adder width must be >= 1");
+  Netlist nl("rca" + std::to_string(width));
+  const auto a = nl.add_input_port("a", width);
+  const auto b = nl.add_input_port("b", width);
+  std::vector<NodeId> sum;
+  NodeId carry = nl.add_const(false);
+  for (unsigned i = 0; i < width; ++i) {
+    const SumCarry sc = full_adder(nl, a[i], b[i], carry);
+    sum.push_back(sc.sum);
+    carry = sc.carry;
+  }
+  nl.bind_output_port("sum", sum);
+  nl.bind_output_port("cout", {carry});
+  nl.validate();
+  return nl;
+}
+
+Netlist make_parity(unsigned width) {
+  AAD_REQUIRE(width >= 1, "parity width must be >= 1");
+  Netlist nl("parity" + std::to_string(width));
+  const auto data = nl.add_input_port("data", width);
+  // Balanced XOR tree keeps logic depth logarithmic.
+  std::deque<NodeId> work(data.begin(), data.end());
+  while (work.size() > 1) {
+    const NodeId x = work.front();
+    work.pop_front();
+    const NodeId y = work.front();
+    work.pop_front();
+    work.push_back(nl.add_xor(x, y));
+  }
+  nl.bind_output_port("parity", {work.front()});
+  nl.validate();
+  return nl;
+}
+
+Netlist make_popcount(unsigned width) {
+  AAD_REQUIRE(width >= 1, "popcount width must be >= 1");
+  Netlist nl("popcount" + std::to_string(width));
+  const auto data = nl.add_input_port("data", width);
+  // Adder tree: start with `width` one-bit numbers, repeatedly ripple-add
+  // the two shortest until a single number remains.
+  std::deque<std::vector<NodeId>> numbers;
+  for (NodeId bit : data) numbers.push_back({bit});
+  while (numbers.size() > 1) {
+    auto a = numbers.front();
+    numbers.pop_front();
+    auto b = numbers.front();
+    numbers.pop_front();
+    numbers.push_back(ripple_add(nl, std::move(a), std::move(b)));
+  }
+  // Trim to the exact output width: ceil(log2(width+1)) bits.
+  unsigned out_width = 1;
+  while ((1u << out_width) < width + 1) ++out_width;
+  auto result = numbers.front();
+  result.resize(out_width, nl.add_const(false));
+  nl.bind_output_port("count", result);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_comparator(unsigned width) {
+  AAD_REQUIRE(width >= 1, "comparator width must be >= 1");
+  Netlist nl("cmp" + std::to_string(width));
+  const auto a = nl.add_input_port("a", width);
+  const auto b = nl.add_input_port("b", width);
+  // MSB-down scan: lt accumulates (!a[i] & b[i]) qualified by equality of
+  // all higher bits.
+  NodeId eq_prefix = nl.add_const(true);
+  NodeId lt = nl.add_const(false);
+  for (int i = static_cast<int>(width) - 1; i >= 0; --i) {
+    const NodeId bit_eq = nl.add_xnor(a[static_cast<unsigned>(i)],
+                                      b[static_cast<unsigned>(i)]);
+    const NodeId bit_lt = nl.add_and(nl.add_not(a[static_cast<unsigned>(i)]),
+                                     b[static_cast<unsigned>(i)]);
+    lt = nl.add_or(lt, nl.add_and(eq_prefix, bit_lt));
+    eq_prefix = nl.add_and(eq_prefix, bit_eq);
+  }
+  nl.bind_output_port("eq", {eq_prefix});
+  nl.bind_output_port("lt", {lt});
+  nl.validate();
+  return nl;
+}
+
+Netlist make_gray_encoder(unsigned width) {
+  AAD_REQUIRE(width >= 1, "gray width must be >= 1");
+  Netlist nl("gray" + std::to_string(width));
+  const auto bin = nl.add_input_port("bin", width);
+  std::vector<NodeId> gray(width);
+  for (unsigned i = 0; i + 1 < width; ++i) gray[i] = nl.add_xor(bin[i], bin[i + 1]);
+  gray[width - 1] = nl.add_buf(bin[width - 1]);
+  nl.bind_output_port("gray", gray);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_lfsr(unsigned width, const std::vector<unsigned>& taps) {
+  AAD_REQUIRE(width >= 2, "lfsr width must be >= 2");
+  AAD_REQUIRE(!taps.empty(), "lfsr needs at least one tap");
+  for (unsigned t : taps)
+    AAD_REQUIRE(t < width, "lfsr tap beyond register width");
+  Netlist nl("lfsr" + std::to_string(width));
+  const auto init = nl.add_input_port("init", width);
+  const auto load = nl.add_input_port("load", 1);
+
+  std::vector<NodeId> regs(width);
+  for (auto& r : regs) r = nl.add_dff();
+
+  NodeId feedback = regs[taps[0]];
+  for (std::size_t i = 1; i < taps.size(); ++i)
+    feedback = nl.add_xor(feedback, regs[taps[i]]);
+
+  for (unsigned i = 0; i < width; ++i) {
+    const NodeId shifted = (i + 1 < width) ? regs[i + 1] : feedback;
+    nl.connect_dff(regs[i], nl.add_mux(shifted, init[i], load[0]));
+  }
+  nl.bind_output_port("state", regs);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_crc32_datapath() {
+  constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
+  Netlist nl("crc32");
+  const auto byte = nl.add_input_port("byte", 8);
+  const auto valid = nl.add_input_port("valid", 1);
+
+  // Registers hold R = state ^ 0xFFFFFFFF so that the FF reset value 0
+  // encodes the standard seed and R *is* the finalized CRC at any instant.
+  std::vector<NodeId> regs(32);
+  for (auto& r : regs) r = nl.add_dff();
+
+  // s = ~R recovers the internal LFSR state; the mapper folds these NOTs
+  // into the consuming truth tables at zero LUT cost.
+  std::vector<NodeId> s(32);
+  for (unsigned j = 0; j < 32; ++j) s[j] = nl.add_not(regs[j]);
+
+  // Eight unrolled reflected bit-steps, LSB of the byte first.
+  for (unsigned i = 0; i < 8; ++i) {
+    const NodeId fb = nl.add_xor(s[0], byte[i]);
+    std::vector<NodeId> next(32);
+    for (unsigned j = 0; j < 31; ++j) {
+      next[j] = ((kPoly >> j) & 1u) ? nl.add_xor(s[j + 1], fb)
+                                    : nl.add_buf(s[j + 1]);
+    }
+    next[31] = nl.add_buf(fb);  // poly bit 31 is set; shifted-in bit is 0
+    s = std::move(next);
+  }
+
+  // Write-back under `valid`; a drain cycle with valid=0 holds state.
+  for (unsigned j = 0; j < 32; ++j)
+    nl.connect_dff(regs[j], nl.add_mux(regs[j], nl.add_not(s[j]), valid[0]));
+
+  nl.bind_output_port("crc", regs);
+  nl.validate();
+  return nl;
+}
+
+Netlist make_array_multiplier(unsigned width) {
+  AAD_REQUIRE(width >= 1 && width <= 16, "multiplier width must be 1..16");
+  Netlist nl("mul" + std::to_string(width));
+  const auto a = nl.add_input_port("a", width);
+  const auto b = nl.add_input_port("b", width);
+
+  // Shift-add over partial-product rows.
+  std::vector<NodeId> acc;  // running sum, LSB first
+  for (unsigned i = 0; i < width; ++i) {
+    std::vector<NodeId> row(i, kInvalidNode);
+    for (auto& bit : row) bit = nl.add_const(false);
+    for (unsigned j = 0; j < width; ++j) row.push_back(nl.add_and(a[j], b[i]));
+    acc = acc.empty() ? std::move(row) : ripple_add(nl, std::move(acc), std::move(row));
+  }
+  acc.resize(2 * width, nl.add_const(false));
+  nl.bind_output_port("product", acc);
+  nl.validate();
+  return nl;
+}
+
+}  // namespace aad::netlist

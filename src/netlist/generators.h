@@ -1,0 +1,49 @@
+// Parameterized circuit generators.
+//
+// These build the gate-level netlists of the functions that run *for real*
+// on the simulated fabric (as opposed to the large behavioral kernels).
+// Every generator returns a validated Netlist with named ports; widths are
+// generator parameters so tests can sweep them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace aad::netlist {
+
+/// Ripple-carry adder.  Ports: in a[width], b[width]; out sum[width], cout[1].
+Netlist make_ripple_adder(unsigned width);
+
+/// XOR parity tree.  Ports: in data[width]; out parity[1].
+Netlist make_parity(unsigned width);
+
+/// Population count.  Ports: in data[width]; out count[ceil(log2(width+1))].
+Netlist make_popcount(unsigned width);
+
+/// Unsigned comparator.  Ports: in a[width], b[width]; out eq[1], lt[1]
+/// (lt is a < b).
+Netlist make_comparator(unsigned width);
+
+/// Binary-to-Gray encoder.  Ports: in bin[width]; out gray[width].
+Netlist make_gray_encoder(unsigned width);
+
+/// Fibonacci LFSR with parallel load.
+/// Ports: in init[width], load[1]; out state[width].
+/// When load=1 the state is replaced by `init`; otherwise it shifts right
+/// with the XOR of `taps` (bit positions) fed into the MSB.
+Netlist make_lfsr(unsigned width, const std::vector<unsigned>& taps);
+
+/// CRC-32 (IEEE, reflected) datapath, 8 bits per cycle.
+/// Ports: in byte[8], valid[1]; out crc[32].
+/// Registers hold the *finalized* CRC of the bytes consumed so far (the
+/// xor-out is absorbed into the register encoding), so reset state 0 encodes
+/// the standard 0xFFFFFFFF seed.  `valid`=0 holds state (drain cycle).
+Netlist make_crc32_datapath();
+
+/// Unsigned array multiplier.  Ports: in a[width], b[width];
+/// out product[2*width].
+Netlist make_array_multiplier(unsigned width);
+
+}  // namespace aad::netlist

@@ -1,0 +1,161 @@
+#include "netlist/lutmap.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace aad::netlist {
+namespace {
+
+/// Mapper-internal reference: a LUT-network net plus a pending negation that
+/// will be folded into the consuming truth table.
+struct Ref {
+  NetRef net;
+  bool neg = false;
+};
+
+/// Truth table of `kind` over pins 0..2 with input polarities folded in.
+/// Unused high pins replicate, so any 2-input table is valid as a LUT4.
+std::uint16_t gate_truth(GateKind kind, bool n0, bool n1, bool n2) {
+  std::uint16_t truth = 0;
+  for (unsigned idx = 0; idx < 16; ++idx) {
+    const bool a = (((idx >> 0) & 1u) != 0) != n0;
+    const bool b = (((idx >> 1) & 1u) != 0) != n1;
+    const bool c = (((idx >> 2) & 1u) != 0) != n2;
+    bool v = false;
+    switch (kind) {
+      case GateKind::kAnd: v = a && b; break;
+      case GateKind::kOr: v = a || b; break;
+      case GateKind::kXor: v = a != b; break;
+      case GateKind::kNand: v = !(a && b); break;
+      case GateKind::kNor: v = !(a || b); break;
+      case GateKind::kXnor: v = a == b; break;
+      case GateKind::kMux: v = c ? b : a; break;
+      default:
+        AAD_FAIL(ErrorCode::kInternal, "gate_truth on non-logic kind");
+    }
+    if (v) truth = static_cast<std::uint16_t>(truth | (1u << idx));
+  }
+  return truth;
+}
+
+constexpr std::uint16_t kPassP0 = 0xAAAA;    // f = pin0
+constexpr std::uint16_t kInvertP0 = 0x5555;  // f = !pin0
+
+}  // namespace
+
+LutNetwork map_to_luts(const Netlist& netlist, MapStats* stats) {
+  netlist.validate();
+  MapStats st;
+  st.gates_in = netlist.logic_gate_count();
+
+  LutNetwork out(netlist.name(), netlist.input_bit_count(),
+                 netlist.output_bit_count());
+
+  // Primary-input bit position per input node.
+  std::unordered_map<NodeId, std::uint32_t> input_bit;
+  {
+    const auto inputs = netlist.ordered_inputs();
+    for (std::uint32_t i = 0; i < inputs.size(); ++i) input_bit[inputs[i]] = i;
+  }
+
+  const std::size_t n = netlist.node_count();
+  std::vector<Ref> ref(n);
+
+  // Pass 1: pre-create one FF slot per DFF so registered references resolve
+  // regardless of feedback direction.
+  std::unordered_map<NodeId, std::uint32_t> ff_slot;
+  for (NodeId id = 0; id < n; ++id) {
+    if (netlist.node(id).kind != GateKind::kDff) continue;
+    LutSlot slot;
+    slot.has_ff = true;
+    slot.truth = kPassP0;
+    const std::uint32_t s = out.add_slot(slot);
+    ff_slot.emplace(id, s);
+    ref[id] = Ref{NetRef{NetKind::kLutReg, s}, false};
+  }
+
+  // Pass 2: map combinational nodes in topological order.
+  for (NodeId id : netlist.topological_order()) {
+    const Node& node = netlist.node(id);
+    switch (node.kind) {
+      case GateKind::kInput: {
+        const auto it = input_bit.find(id);
+        AAD_REQUIRE(it != input_bit.end(),
+                    "primary input not bound to any input port");
+        ref[id] = Ref{NetRef{NetKind::kPrimary, it->second}, false};
+        break;
+      }
+      case GateKind::kConst0:
+        ref[id] = Ref{NetRef{NetKind::kConst0, 0}, false};
+        break;
+      case GateKind::kConst1:
+        ref[id] = Ref{NetRef{NetKind::kConst1, 0}, false};
+        break;
+      case GateKind::kBuf:
+        ref[id] = ref[node.fanins[0]];
+        ++st.buffers_elided;
+        break;
+      case GateKind::kNot:
+        ref[id] = ref[node.fanins[0]];
+        ref[id].neg = !ref[id].neg;
+        ++st.inverters_folded;
+        break;
+      case GateKind::kDff:
+        break;  // handled in passes 1 and 3
+      default: {
+        const Ref f0 = ref[node.fanins[0]];
+        const Ref f1 = node.fanins.size() > 1 ? ref[node.fanins[1]] : Ref{};
+        const Ref f2 = node.fanins.size() > 2 ? ref[node.fanins[2]] : Ref{};
+        LutSlot slot;
+        slot.truth = gate_truth(node.kind, f0.neg, f1.neg, f2.neg);
+        slot.pins[0] = f0.net;
+        if (node.fanins.size() > 1) slot.pins[1] = f1.net;
+        if (node.fanins.size() > 2) slot.pins[2] = f2.net;
+        ref[id] = Ref{NetRef{NetKind::kLutComb, out.add_slot(slot)}, false};
+        break;
+      }
+    }
+  }
+
+  // Pass 3: connect DFF D paths (may be forward references; legal on FF
+  // slots because they latch post-settle).
+  for (const auto& [id, slot_index] : ff_slot) {
+    const Ref d = ref[netlist.node(id).fanins[0]];
+    LutSlot& slot = out.slot(slot_index);
+    slot.pins[0] = d.net;
+    slot.truth = d.neg ? kInvertP0 : kPassP0;
+  }
+
+  // Pass 4: bind output bits.  Prefer flagging the driving slot directly;
+  // fall back to a pass-through LUT when the driver is a primary input, a
+  // constant, a negated net, or a slot already bound to another bit.
+  const auto outputs = netlist.ordered_outputs();
+  for (std::uint16_t bit = 0; bit < outputs.size(); ++bit) {
+    const Ref r = ref[outputs[bit]];
+    const bool direct =
+        !r.neg &&
+        (r.net.kind == NetKind::kLutComb || r.net.kind == NetKind::kLutReg) &&
+        !out.slot(r.net.index).is_output;
+    if (direct) {
+      LutSlot& slot = out.slot(r.net.index);
+      slot.is_output = true;
+      slot.output_bit = bit;
+    } else {
+      LutSlot pass;
+      pass.truth = r.neg ? kInvertP0 : kPassP0;
+      pass.pins[0] = r.net;
+      pass.is_output = true;
+      pass.output_bit = bit;
+      out.add_slot(pass);
+      ++st.passthroughs_added;
+    }
+  }
+
+  st.luts_out = out.lut_count();
+  st.ffs_out = out.ff_count();
+  if (stats) *stats = st;
+  out.validate();
+  return out;
+}
+
+}  // namespace aad::netlist

@@ -1,0 +1,130 @@
+#include "netlist/lutnetwork.h"
+
+#include <algorithm>
+
+namespace aad::netlist {
+
+std::uint32_t LutNetwork::add_slot(const LutSlot& slot) {
+  slots_.push_back(slot);
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+LutSlot& LutNetwork::slot(std::uint32_t index) {
+  AAD_REQUIRE(index < slots_.size(), "slot index out of range");
+  return slots_[index];
+}
+
+std::size_t LutNetwork::ff_count() const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      slots_.begin(), slots_.end(), [](const LutSlot& s) { return s.has_ff; }));
+}
+
+void LutNetwork::validate() const {
+  std::vector<bool> output_seen(output_width_, false);
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    const LutSlot& s = slots_[i];
+    for (const NetRef& ref : s.pins) {
+      switch (ref.kind) {
+        case NetKind::kUnused:
+        case NetKind::kConst0:
+        case NetKind::kConst1:
+          break;
+        case NetKind::kPrimary:
+          AAD_REQUIRE(ref.index < input_width_,
+                      "primary pin beyond input bus width");
+          break;
+        case NetKind::kLutComb:
+          // Combinational chains settle in slot order.  FF slots are exempt:
+          // their D path is sampled after the whole network settles.
+          AAD_REQUIRE(ref.index < slots_.size(), "comb pin out of range");
+          AAD_REQUIRE(s.has_ff || ref.index < i,
+                      "forward combinational reference outside an FF D-path");
+          break;
+        case NetKind::kLutReg:
+          AAD_REQUIRE(ref.index < slots_.size(), "reg pin out of range");
+          AAD_REQUIRE(slots_[ref.index].has_ff,
+                      "registered reference to a slot without an FF");
+          break;
+      }
+    }
+    if (s.is_output) {
+      AAD_REQUIRE(s.output_bit < output_width_,
+                  "output bit beyond output bus width");
+      AAD_REQUIRE(!output_seen[s.output_bit], "output bit driven twice");
+      output_seen[s.output_bit] = true;
+    }
+  }
+  for (std::size_t b = 0; b < output_width_; ++b)
+    AAD_REQUIRE(output_seen[b], "output bit " + std::to_string(b) +
+                                    " has no driver");
+}
+
+LutExecutor::LutExecutor(const LutNetwork& network)
+    : network_(network),
+      comb_(network.slots().size(), false),
+      regs_(network.slots().size(), false) {
+  network.validate();
+}
+
+void LutExecutor::reset() {
+  std::fill(comb_.begin(), comb_.end(), false);
+  std::fill(regs_.begin(), regs_.end(), false);
+  cycles_ = 0;
+}
+
+bool LutExecutor::resolve(const NetRef& ref,
+                          const std::vector<bool>& inputs) const {
+  switch (ref.kind) {
+    case NetKind::kUnused:
+    case NetKind::kConst0:
+      return false;
+    case NetKind::kConst1:
+      return true;
+    case NetKind::kPrimary:
+      return inputs[ref.index];
+    case NetKind::kLutComb:
+      return comb_[ref.index];
+    case NetKind::kLutReg:
+      return regs_[ref.index];
+  }
+  return false;
+}
+
+std::vector<bool> LutExecutor::step(const std::vector<bool>& inputs) {
+  AAD_REQUIRE(inputs.size() == network_.input_width(),
+              "executor input width mismatch");
+  const auto& slots = network_.slots();
+
+  // Phase 1: combinational settle in slot order.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const LutSlot& s = slots[i];
+    comb_[i] = eval_truth(s.truth, resolve(s.pins[0], inputs),
+                          resolve(s.pins[1], inputs),
+                          resolve(s.pins[2], inputs),
+                          resolve(s.pins[3], inputs));
+  }
+  // Phase 2: sample the output bus *pre-latch* — registered outputs read the
+  // current state, matching the gate-level Simulator's semantics.
+  std::vector<bool> outputs(network_.output_width(), false);
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const LutSlot& s = slots[i];
+    if (s.is_output) outputs[s.output_bit] = s.has_ff ? regs_[i] : comb_[i];
+  }
+
+  // Phase 3: FF slots re-evaluate their LUT post-settle (legalizes forward
+  // D-path references) and latch.
+  std::vector<bool> next_regs = regs_;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const LutSlot& s = slots[i];
+    if (!s.has_ff) continue;
+    next_regs[i] = eval_truth(s.truth, resolve(s.pins[0], inputs),
+                              resolve(s.pins[1], inputs),
+                              resolve(s.pins[2], inputs),
+                              resolve(s.pins[3], inputs));
+  }
+  regs_.swap(next_regs);
+  ++cycles_;
+  return outputs;
+}
+
+}  // namespace aad::netlist

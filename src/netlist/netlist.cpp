@@ -1,0 +1,208 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace aad::netlist {
+
+const char* to_string(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kInput: return "input";
+    case GateKind::kConst0: return "const0";
+    case GateKind::kConst1: return "const1";
+    case GateKind::kBuf: return "buf";
+    case GateKind::kNot: return "not";
+    case GateKind::kAnd: return "and";
+    case GateKind::kOr: return "or";
+    case GateKind::kXor: return "xor";
+    case GateKind::kNand: return "nand";
+    case GateKind::kNor: return "nor";
+    case GateKind::kXnor: return "xnor";
+    case GateKind::kMux: return "mux";
+    case GateKind::kDff: return "dff";
+  }
+  return "?";
+}
+
+unsigned fanin_count(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+    case GateKind::kDff:
+      return 1;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kXnor:
+      return 2;
+    case GateKind::kMux:
+      return 3;
+  }
+  return 0;
+}
+
+NodeId Netlist::add_input() {
+  nodes_.push_back(Node{GateKind::kInput, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Netlist::add_const(bool value) {
+  nodes_.push_back(Node{value ? GateKind::kConst1 : GateKind::kConst0, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Netlist::add_gate(GateKind kind, std::vector<NodeId> fanins) {
+  AAD_REQUIRE(kind != GateKind::kInput && kind != GateKind::kDff,
+              "use add_input/add_dff for source nodes");
+  AAD_REQUIRE(fanins.size() == fanin_count(kind),
+              std::string("gate arity mismatch for ") + to_string(kind));
+  for (NodeId f : fanins)
+    AAD_REQUIRE(f < nodes_.size(), "fanin references unknown node");
+  nodes_.push_back(Node{kind, std::move(fanins)});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Netlist::add_dff(NodeId d) {
+  if (d != kInvalidNode)
+    AAD_REQUIRE(d < nodes_.size(), "DFF D fanin references unknown node");
+  nodes_.push_back(Node{GateKind::kDff, {d}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Netlist::connect_dff(NodeId dff, NodeId d) {
+  AAD_REQUIRE(dff < nodes_.size() && nodes_[dff].kind == GateKind::kDff,
+              "connect_dff target is not a DFF");
+  AAD_REQUIRE(d < nodes_.size(), "DFF D fanin references unknown node");
+  nodes_[dff].fanins[0] = d;
+}
+
+void Netlist::bind_input_port(const std::string& name,
+                              std::vector<NodeId> bits) {
+  for (NodeId b : bits)
+    AAD_REQUIRE(b < nodes_.size() && nodes_[b].kind == GateKind::kInput,
+                "input port bit is not a primary input");
+  input_ports_.push_back(Port{name, std::move(bits)});
+}
+
+std::vector<NodeId> Netlist::add_input_port(const std::string& name,
+                                            std::size_t width) {
+  std::vector<NodeId> bits(width);
+  for (auto& b : bits) b = add_input();
+  bind_input_port(name, bits);
+  return bits;
+}
+
+void Netlist::bind_output_port(const std::string& name,
+                               std::vector<NodeId> bits) {
+  for (NodeId b : bits)
+    AAD_REQUIRE(b < nodes_.size(), "output port bit references unknown node");
+  output_ports_.push_back(Port{name, std::move(bits)});
+}
+
+const Node& Netlist::node(NodeId id) const {
+  AAD_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Port& Netlist::input_port(const std::string& name) const {
+  for (const Port& p : input_ports_)
+    if (p.name == name) return p;
+  AAD_FAIL(ErrorCode::kNotFound, "no input port named " + name);
+}
+
+const Port& Netlist::output_port(const std::string& name) const {
+  for (const Port& p : output_ports_)
+    if (p.name == name) return p;
+  AAD_FAIL(ErrorCode::kNotFound, "no output port named " + name);
+}
+
+std::vector<NodeId> Netlist::ordered_inputs() const {
+  std::vector<NodeId> out;
+  for (const Port& p : input_ports_)
+    out.insert(out.end(), p.bits.begin(), p.bits.end());
+  return out;
+}
+
+std::vector<NodeId> Netlist::ordered_outputs() const {
+  std::vector<NodeId> out;
+  for (const Port& p : output_ports_)
+    out.insert(out.end(), p.bits.begin(), p.bits.end());
+  return out;
+}
+
+std::size_t Netlist::input_bit_count() const { return ordered_inputs().size(); }
+std::size_t Netlist::output_bit_count() const { return ordered_outputs().size(); }
+
+std::size_t Netlist::logic_gate_count() const noexcept {
+  std::size_t n = 0;
+  for (const Node& node : nodes_) {
+    switch (node.kind) {
+      case GateKind::kInput:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+      case GateKind::kBuf:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t Netlist::dff_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(), [](const Node& n) {
+        return n.kind == GateKind::kDff;
+      }));
+}
+
+std::vector<NodeId> Netlist::topological_order() const {
+  // Kahn's algorithm over the combinational graph: DFF outputs are sources
+  // (their Q is available at cycle start); the D input edge is ignored here.
+  const std::size_t n = nodes_.size();
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<std::vector<NodeId>> fanouts(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& node = nodes_[id];
+    if (node.kind == GateKind::kDff) continue;  // source in this view
+    for (NodeId f : node.fanins) {
+      fanouts[f].push_back(id);
+      ++pending[id];
+    }
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> ready;
+  for (NodeId id = 0; id < n; ++id)
+    if (pending[id] == 0) ready.push_back(id);
+  while (!ready.empty()) {
+    const NodeId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NodeId out : fanouts[id])
+      if (--pending[out] == 0) ready.push_back(out);
+  }
+  AAD_REQUIRE(order.size() == n, "netlist has a combinational cycle");
+  return order;
+}
+
+void Netlist::validate() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    AAD_REQUIRE(node.fanins.size() == fanin_count(node.kind),
+                "node arity mismatch");
+    for (NodeId f : node.fanins)
+      AAD_REQUIRE(f != kInvalidNode && f < nodes_.size(),
+                  "dangling fanin (unconnected DFF?)");
+  }
+  (void)topological_order();  // throws on combinational cycles
+  for (const Port& p : output_ports_)
+    AAD_REQUIRE(!p.bits.empty(), "empty output port " + p.name);
+}
+
+}  // namespace aad::netlist

@@ -1,0 +1,126 @@
+// Gate-level netlist intermediate representation.
+//
+// Circuits destined for the simulated fabric are described as a DAG of
+// primitive gates plus D flip-flops, with named multi-bit ports.  The LUT
+// mapper (lutmap.h) lowers this IR to a LUT4 network which the placer packs
+// into CLBs and frames.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace aad::netlist {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+enum class GateKind : std::uint8_t {
+  kInput,   ///< primary input bit
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,     ///< fanin[2] ? fanin[1] : fanin[0]  (select is fanin 2)
+  kDff,     ///< D flip-flop; fanin[0] = D, output = Q (state element)
+};
+
+const char* to_string(GateKind kind) noexcept;
+
+/// Number of fanins each gate kind requires (kInput/kConst* take 0).
+unsigned fanin_count(GateKind kind) noexcept;
+
+struct Node {
+  GateKind kind = GateKind::kConst0;
+  std::vector<NodeId> fanins;
+};
+
+/// A named multi-bit port (bit 0 first).
+struct Port {
+  std::string name;
+  std::vector<NodeId> bits;
+};
+
+/// A combinational + sequential netlist with named ports.
+///
+/// Invariants enforced by validate(): fanins reference earlier-created or
+/// any existing nodes, fanin arity matches the gate kind, and the
+/// combinational subgraph (treating DFF outputs as sources) is acyclic.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  // --- construction -------------------------------------------------------
+  NodeId add_input();
+  NodeId add_const(bool value);
+  NodeId add_gate(GateKind kind, std::vector<NodeId> fanins);
+  /// Convenience unary/binary/ternary builders.
+  NodeId add_not(NodeId a) { return add_gate(GateKind::kNot, {a}); }
+  NodeId add_buf(NodeId a) { return add_gate(GateKind::kBuf, {a}); }
+  NodeId add_and(NodeId a, NodeId b) { return add_gate(GateKind::kAnd, {a, b}); }
+  NodeId add_or(NodeId a, NodeId b) { return add_gate(GateKind::kOr, {a, b}); }
+  NodeId add_xor(NodeId a, NodeId b) { return add_gate(GateKind::kXor, {a, b}); }
+  NodeId add_nand(NodeId a, NodeId b) { return add_gate(GateKind::kNand, {a, b}); }
+  NodeId add_nor(NodeId a, NodeId b) { return add_gate(GateKind::kNor, {a, b}); }
+  NodeId add_xnor(NodeId a, NodeId b) { return add_gate(GateKind::kXnor, {a, b}); }
+  NodeId add_mux(NodeId if0, NodeId if1, NodeId sel) {
+    return add_gate(GateKind::kMux, {if0, if1, sel});
+  }
+  /// A D flip-flop whose D fanin may be set later (for feedback loops).
+  NodeId add_dff(NodeId d = kInvalidNode);
+  void connect_dff(NodeId dff, NodeId d);
+
+  /// Declare a named input port over existing kInput nodes.
+  void bind_input_port(const std::string& name, std::vector<NodeId> bits);
+  /// Declare a named input port, creating `width` fresh input nodes.
+  std::vector<NodeId> add_input_port(const std::string& name, std::size_t width);
+  /// Declare a named output port driven by arbitrary nodes.
+  void bind_output_port(const std::string& name, std::vector<NodeId> bits);
+
+  // --- inspection ---------------------------------------------------------
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::vector<Port>& input_ports() const noexcept { return input_ports_; }
+  const std::vector<Port>& output_ports() const noexcept { return output_ports_; }
+  const Port& input_port(const std::string& name) const;
+  const Port& output_port(const std::string& name) const;
+
+  /// All primary-input node ids, in port declaration order.
+  std::vector<NodeId> ordered_inputs() const;
+  /// All output bits, in port declaration order.
+  std::vector<NodeId> ordered_outputs() const;
+  std::size_t input_bit_count() const;
+  std::size_t output_bit_count() const;
+
+  /// Gate population excluding inputs/constants/buffers.
+  std::size_t logic_gate_count() const noexcept;
+  std::size_t dff_count() const noexcept;
+
+  /// Topological order of the combinational graph (DFFs treated as sources;
+  /// their D fanin is a sink edge).  Throws kInvalidArgument on a
+  /// combinational cycle.
+  std::vector<NodeId> topological_order() const;
+
+  /// Full structural validation; throws on the first violation.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Port> input_ports_;
+  std::vector<Port> output_ports_;
+};
+
+}  // namespace aad::netlist

@@ -1,0 +1,267 @@
+#include "netlist/optimize.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace aad::netlist {
+namespace {
+
+constexpr NodeId kNone = kInvalidNode;
+
+bool is_commutative(GateKind kind) {
+  switch (kind) {
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kXor:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kXnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One rewrite pass: constant folding + structural hashing + DCE.
+class Rewriter {
+ public:
+  explicit Rewriter(const Netlist& in, OptStats& stats)
+      : in_(in), out_(in.name()), stats_(stats) {}
+
+  Netlist run() {
+    compute_liveness();
+    map_.assign(in_.node_count(), kNone);
+
+    // Keep every primary input (port widths are part of the contract).
+    for (NodeId id = 0; id < in_.node_count(); ++id)
+      if (in_.node(id).kind == GateKind::kInput) map_[id] = out_.add_input();
+
+    // Pre-create live DFFs so feedback references resolve.
+    std::vector<std::pair<NodeId, NodeId>> dffs;  // old, new
+    for (NodeId id = 0; id < in_.node_count(); ++id) {
+      if (in_.node(id).kind != GateKind::kDff) continue;
+      if (!live_[id]) {
+        ++stats_.dead_removed;
+        continue;
+      }
+      map_[id] = out_.add_dff();
+      dffs.emplace_back(id, map_[id]);
+    }
+
+    for (NodeId id : in_.topological_order()) {
+      const Node& node = in_.node(id);
+      if (map_[id] != kNone) continue;  // inputs / DFFs already placed
+      if (!live_[id]) {
+        // (dead DFFs were already counted in the pre-create loop)
+        if (node.kind != GateKind::kInput && node.kind != GateKind::kDff)
+          ++stats_.dead_removed;
+        continue;
+      }
+      map_[id] = rewrite(node);
+    }
+
+    // Connect DFF D paths.
+    for (const auto& [old_id, new_id] : dffs)
+      out_.connect_dff(new_id, map_at(in_.node(old_id).fanins[0]));
+
+    // Rebind ports.
+    for (const Port& p : in_.input_ports()) {
+      std::vector<NodeId> bits;
+      for (NodeId b : p.bits) bits.push_back(map_at(b));
+      out_.bind_input_port(p.name, std::move(bits));
+    }
+    for (const Port& p : in_.output_ports()) {
+      std::vector<NodeId> bits;
+      for (NodeId b : p.bits) bits.push_back(map_at(b));
+      out_.bind_output_port(p.name, std::move(bits));
+    }
+    out_.validate();
+    return std::move(out_);
+  }
+
+ private:
+  void compute_liveness() {
+    live_.assign(in_.node_count(), false);
+    std::vector<NodeId> work;
+    auto mark = [&](NodeId id) {
+      if (!live_[id]) {
+        live_[id] = true;
+        work.push_back(id);
+      }
+    };
+    for (NodeId id : in_.ordered_outputs()) mark(id);
+    while (!work.empty()) {
+      const NodeId id = work.back();
+      work.pop_back();
+      for (NodeId f : in_.node(id).fanins) mark(f);
+    }
+  }
+
+  NodeId map_at(NodeId old_id) const {
+    AAD_CHECK(map_[old_id] != kNone, "reference to an unmapped node");
+    return map_[old_id];
+  }
+
+  NodeId const_node(bool value) {
+    NodeId& slot = value ? const1_ : const0_;
+    if (slot == kNone) slot = out_.add_const(value);
+    return slot;
+  }
+
+  bool is_const(NodeId new_id, bool value) const {
+    return value ? new_id == const1_ : new_id == const0_;
+  }
+  bool is_any_const(NodeId new_id) const {
+    return new_id == const0_ || new_id == const1_;
+  }
+  bool const_value(NodeId new_id) const { return new_id == const1_; }
+
+  /// Hash-consed gate creation (after folding failed to simplify).
+  NodeId emit(GateKind kind, std::vector<NodeId> fanins) {
+    std::vector<NodeId> key_fanins = fanins;
+    if (is_commutative(kind))
+      std::sort(key_fanins.begin(), key_fanins.end());
+    const auto key = std::make_tuple(kind, key_fanins);
+    if (const auto it = hash_.find(key); it != hash_.end()) {
+      ++stats_.gates_merged;
+      return it->second;
+    }
+    const NodeId id = out_.add_gate(kind, std::move(fanins));
+    hash_.emplace(key, id);
+    return id;
+  }
+
+  NodeId emit_not(NodeId a) {
+    if (is_any_const(a)) {
+      ++stats_.constants_folded;
+      return const_node(!const_value(a));
+    }
+    return emit(GateKind::kNot, {a});
+  }
+
+  NodeId rewrite(const Node& node) {
+    switch (node.kind) {
+      case GateKind::kConst0:
+        return const_node(false);
+      case GateKind::kConst1:
+        return const_node(true);
+      case GateKind::kBuf:
+        return map_at(node.fanins[0]);
+      case GateKind::kNot:
+        return emit_not(map_at(node.fanins[0]));
+      case GateKind::kMux:
+        return rewrite_mux(node);
+      default:
+        return rewrite_binary(node);
+    }
+  }
+
+  NodeId rewrite_mux(const Node& node) {
+    const NodeId if0 = map_at(node.fanins[0]);
+    const NodeId if1 = map_at(node.fanins[1]);
+    const NodeId sel = map_at(node.fanins[2]);
+    if (is_any_const(sel)) {
+      ++stats_.constants_folded;
+      return const_value(sel) ? if1 : if0;
+    }
+    if (if0 == if1) {
+      ++stats_.constants_folded;
+      return if0;
+    }
+    // mux(0, 1, s) = s ; mux(1, 0, s) = !s.
+    if (is_const(if0, false) && is_const(if1, true)) {
+      ++stats_.constants_folded;
+      return sel;
+    }
+    if (is_const(if0, true) && is_const(if1, false)) {
+      ++stats_.constants_folded;
+      return emit_not(sel);
+    }
+    return emit(GateKind::kMux, {if0, if1, sel});
+  }
+
+  NodeId rewrite_binary(const Node& node) {
+    const GateKind kind = node.kind;
+    NodeId a = map_at(node.fanins[0]);
+    NodeId b = map_at(node.fanins[1]);
+    // Both constant: evaluate outright.
+    if (is_any_const(a) && is_any_const(b)) {
+      const bool va = const_value(a);
+      const bool vb = const_value(b);
+      bool v = false;
+      switch (kind) {
+        case GateKind::kAnd: v = va && vb; break;
+        case GateKind::kOr: v = va || vb; break;
+        case GateKind::kXor: v = va != vb; break;
+        case GateKind::kNand: v = !(va && vb); break;
+        case GateKind::kNor: v = !(va || vb); break;
+        case GateKind::kXnor: v = va == vb; break;
+        default: AAD_CHECK(false, "unexpected binary kind");
+      }
+      ++stats_.constants_folded;
+      return const_node(v);
+    }
+    // One constant: identity / annihilator / inverter rules.
+    if (is_any_const(a)) std::swap(a, b);  // constant (if any) now in b
+    if (is_any_const(b)) {
+      const bool v = const_value(b);
+      ++stats_.constants_folded;
+      switch (kind) {
+        case GateKind::kAnd: return v ? a : const_node(false);
+        case GateKind::kOr: return v ? const_node(true) : a;
+        case GateKind::kXor: return v ? emit_not(a) : a;
+        case GateKind::kNand: return v ? emit_not(a) : const_node(true);
+        case GateKind::kNor: return v ? const_node(false) : emit_not(a);
+        case GateKind::kXnor: return v ? a : emit_not(a);
+        default: break;
+      }
+      AAD_CHECK(false, "unexpected binary kind");
+    }
+    // x op x identities.
+    if (a == b) {
+      ++stats_.constants_folded;
+      switch (kind) {
+        case GateKind::kAnd:
+        case GateKind::kOr:
+          return a;
+        case GateKind::kXor: return const_node(false);
+        case GateKind::kXnor: return const_node(true);
+        case GateKind::kNand:
+        case GateKind::kNor:
+          return emit_not(a);
+        default: break;
+      }
+    }
+    return emit(kind, {a, b});
+  }
+
+  const Netlist& in_;
+  Netlist out_;
+  OptStats& stats_;
+  std::vector<bool> live_;
+  std::vector<NodeId> map_;
+  NodeId const0_ = kNone;
+  NodeId const1_ = kNone;
+  std::map<std::tuple<GateKind, std::vector<NodeId>>, NodeId> hash_;
+};
+
+}  // namespace
+
+Netlist optimize(const Netlist& input, OptStats* stats) {
+  OptStats st;
+  st.nodes_in = input.node_count();
+  // Aliasing can expose new folds; iterate to a fixed point (bounded).
+  Netlist current = Rewriter(input, st).run();
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t before = current.node_count();
+    current = Rewriter(current, st).run();
+    if (current.node_count() == before) break;
+  }
+  st.nodes_out = current.node_count();
+  if (stats) *stats = st;
+  return current;
+}
+
+}  // namespace aad::netlist

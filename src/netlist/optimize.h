@@ -1,0 +1,42 @@
+// Netlist optimization passes, run before technology mapping.
+//
+// Three classic transforms, each equivalence-preserving (proved
+// differentially in tests/test_optimize.cpp):
+//   * constant folding     — gates with constant fanins collapse to
+//                            constants or wires (x&0=0, x^0=x, mux with
+//                            constant select, ...);
+//   * structural hashing   — common-subexpression elimination: gates with
+//                            identical (kind, canonicalized fanins) merge
+//                            (commutative inputs are sorted first);
+//   * dead-code elimination — nodes that reach no output port or DFF are
+//                            dropped.
+//
+// Smaller netlists map to fewer LUTs and therefore fewer frames, which
+// shrinks bitstreams, ROM usage and reconfiguration time end to end —
+// the ablation in bench_fabric quantifies the chain.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace aad::netlist {
+
+struct OptStats {
+  std::size_t nodes_in = 0;
+  std::size_t nodes_out = 0;
+  std::size_t constants_folded = 0;
+  std::size_t gates_merged = 0;   ///< structural-hash hits
+  std::size_t dead_removed = 0;
+
+  double reduction() const noexcept {
+    return nodes_in == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(nodes_out) /
+                           static_cast<double>(nodes_in);
+  }
+};
+
+/// Run fold -> hash -> DCE to a fixed point (at most a few iterations).
+/// Port structure (names, widths, order) is preserved exactly.
+Netlist optimize(const Netlist& input, OptStats* stats = nullptr);
+
+}  // namespace aad::netlist

@@ -1,0 +1,63 @@
+#include "netlist/simulate.h"
+
+namespace aad::netlist {
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(netlist),
+      order_(netlist.topological_order()),
+      input_nodes_(netlist.ordered_inputs()),
+      output_nodes_(netlist.ordered_outputs()),
+      values_(netlist.node_count(), false) {
+  for (NodeId id = 0; id < netlist.node_count(); ++id)
+    if (netlist.node(id).kind == GateKind::kDff) dff_nodes_.push_back(id);
+  dff_values_.assign(dff_nodes_.size(), false);
+}
+
+void Simulator::reset() { dff_values_.assign(dff_nodes_.size(), false); }
+
+void Simulator::settle(const std::vector<bool>& inputs) {
+  AAD_REQUIRE(inputs.size() == input_nodes_.size(),
+              "simulator input width mismatch");
+  for (std::size_t i = 0; i < input_nodes_.size(); ++i)
+    values_[input_nodes_[i]] = inputs[i];
+  for (std::size_t i = 0; i < dff_nodes_.size(); ++i)
+    values_[dff_nodes_[i]] = dff_values_[i];
+
+  for (NodeId id : order_) {
+    const Node& node = netlist_.node(id);
+    auto in = [&](std::size_t k) -> bool { return values_[node.fanins[k]]; };
+    switch (node.kind) {
+      case GateKind::kInput:
+      case GateKind::kDff:
+        break;  // already seeded above
+      case GateKind::kConst0: values_[id] = false; break;
+      case GateKind::kConst1: values_[id] = true; break;
+      case GateKind::kBuf: values_[id] = in(0); break;
+      case GateKind::kNot: values_[id] = !in(0); break;
+      case GateKind::kAnd: values_[id] = in(0) && in(1); break;
+      case GateKind::kOr: values_[id] = in(0) || in(1); break;
+      case GateKind::kXor: values_[id] = in(0) != in(1); break;
+      case GateKind::kNand: values_[id] = !(in(0) && in(1)); break;
+      case GateKind::kNor: values_[id] = !(in(0) || in(1)); break;
+      case GateKind::kXnor: values_[id] = in(0) == in(1); break;
+      case GateKind::kMux: values_[id] = in(2) ? in(1) : in(0); break;
+    }
+  }
+}
+
+std::vector<bool> Simulator::evaluate(const std::vector<bool>& inputs) {
+  settle(inputs);
+  std::vector<bool> out(output_nodes_.size());
+  for (std::size_t i = 0; i < output_nodes_.size(); ++i)
+    out[i] = values_[output_nodes_[i]];
+  return out;
+}
+
+std::vector<bool> Simulator::step(const std::vector<bool>& inputs) {
+  std::vector<bool> out = evaluate(inputs);
+  for (std::size_t i = 0; i < dff_nodes_.size(); ++i)
+    dff_values_[i] = values_[netlist_.node(dff_nodes_[i]).fanins[0]];
+  return out;
+}
+
+}  // namespace aad::netlist

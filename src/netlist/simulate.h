@@ -1,0 +1,43 @@
+// Reference (golden) netlist simulator.
+//
+// Evaluates a Netlist gate-by-gate, independent of the LUT mapper and the
+// fabric, so every downstream lowering step can be differentially tested
+// against it.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace aad::netlist {
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  /// Evaluate one clock cycle: combinational settle with the given primary
+  /// inputs (ordered_inputs() order), then latch all DFFs.  Returns output
+  /// bits in ordered_outputs() order.
+  std::vector<bool> step(const std::vector<bool>& inputs);
+
+  /// Combinational-only evaluation (DFF state unchanged).
+  std::vector<bool> evaluate(const std::vector<bool>& inputs);
+
+  /// Reset all DFFs to zero.
+  void reset();
+
+  const std::vector<bool>& dff_state() const noexcept { return dff_values_; }
+
+ private:
+  void settle(const std::vector<bool>& inputs);
+
+  const Netlist& netlist_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> input_nodes_;
+  std::vector<NodeId> output_nodes_;
+  std::vector<NodeId> dff_nodes_;
+  std::vector<bool> values_;      // per node, after settle
+  std::vector<bool> dff_values_;  // per DFF node (parallel to dff_nodes_)
+};
+
+}  // namespace aad::netlist

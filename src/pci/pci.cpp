@@ -1,0 +1,71 @@
+#include "pci/pci.h"
+
+namespace aad::pci {
+
+PciBus::PciBus(const PciTiming& timing) : timing_(timing) {
+  AAD_REQUIRE(timing.bus_width_bits % 8 == 0 && timing.bus_width_bits >= 8,
+              "bus width must be a byte multiple");
+  AAD_REQUIRE(timing.max_burst_words >= 1, "burst length must be >= 1");
+}
+
+std::size_t PciBus::padded_size(std::size_t bytes) const noexcept {
+  const std::size_t w = timing_.bus_width_bytes();
+  return (bytes + w - 1) / w * w;
+}
+
+sim::SimTime PciBus::single_word_time() const noexcept {
+  return timing_.clock.cycles(timing_.arbitration_cycles +
+                              timing_.address_phase_cycles +
+                              timing_.initial_latency_cycles + 1);
+}
+
+sim::SimTime PciBus::register_write() {
+  ++stats_.register_writes;
+  const auto t = single_word_time();
+  stats_.bus_time += t;
+  return t;
+}
+
+sim::SimTime PciBus::register_read() {
+  ++stats_.register_reads;
+  const auto t = single_word_time();
+  stats_.bus_time += t;
+  return t;
+}
+
+sim::SimTime PciBus::dma_time(std::size_t bytes) const noexcept {
+  if (bytes == 0) return sim::SimTime::zero();
+  const std::size_t words = padded_size(bytes) / timing_.bus_width_bytes();
+  const std::size_t bursts =
+      (words + timing_.max_burst_words - 1) / timing_.max_burst_words;
+  const std::int64_t cycles =
+      static_cast<std::int64_t>(bursts) *
+          (timing_.arbitration_cycles + timing_.address_phase_cycles +
+           timing_.initial_latency_cycles) +
+      static_cast<std::int64_t>(words);
+  return timing_.clock.cycles(cycles);
+}
+
+sim::SimTime PciBus::programmed_io_time(std::size_t bytes) const noexcept {
+  if (bytes == 0) return sim::SimTime::zero();
+  const std::size_t words = padded_size(bytes) / timing_.bus_width_bytes();
+  return single_word_time() * static_cast<std::int64_t>(words);
+}
+
+sim::SimTime PciBus::dma_to_device(std::size_t bytes) {
+  ++stats_.dma_transfers;
+  stats_.bytes_to_device += padded_size(bytes);
+  const auto t = dma_time(bytes);
+  stats_.bus_time += t;
+  return t;
+}
+
+sim::SimTime PciBus::dma_from_device(std::size_t bytes) {
+  ++stats_.dma_transfers;
+  stats_.bytes_from_device += padded_size(bytes);
+  const auto t = dma_time(bytes);
+  stats_.bus_time += t;
+  return t;
+}
+
+}  // namespace aad::pci

@@ -1,0 +1,75 @@
+// Transaction-level PCI bus model (32-bit / 33 MHz, the Stratix PCI dev
+// board's profile).
+//
+// Two transfer styles, matching how the host driver talks to the card:
+//   * register access — single-word transactions (doorbells, status polls),
+//     paying full arbitration + address-phase overhead per word;
+//   * DMA burst — long data phases re-arbitrated every `max_burst_words`,
+//     the path used for function inputs/outputs and bitstream downloads
+//     ("data transfer is a multiple of the width of the interface bus",
+//     paper §2.3 — enforced by padding to bus-word multiples).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytebuffer.h"
+#include "common/error.h"
+#include "sim/time.h"
+
+namespace aad::pci {
+
+struct PciTiming {
+  sim::Frequency clock = sim::Frequency::mhz(33);
+  unsigned bus_width_bits = 32;
+  unsigned arbitration_cycles = 6;   ///< REQ#/GNT# + bus turnaround
+  unsigned address_phase_cycles = 1;
+  unsigned initial_latency_cycles = 2;  ///< target TRDY# latency
+  unsigned max_burst_words = 64;     ///< data phases per transaction
+
+  unsigned bus_width_bytes() const noexcept { return bus_width_bits / 8; }
+};
+
+struct PciStats {
+  std::uint64_t register_reads = 0;
+  std::uint64_t register_writes = 0;
+  std::uint64_t dma_transfers = 0;
+  std::uint64_t bytes_to_device = 0;
+  std::uint64_t bytes_from_device = 0;
+  sim::SimTime bus_time;
+};
+
+/// Pure timing + accounting model; payload movement happens in the caller
+/// (host driver / MCU mailbox) so the model stays direction-agnostic.
+class PciBus {
+ public:
+  explicit PciBus(const PciTiming& timing = PciTiming{});
+
+  const PciTiming& timing() const noexcept { return timing_; }
+  const PciStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = PciStats{}; }
+
+  /// Round a payload up to the bus-word multiple actually transferred.
+  std::size_t padded_size(std::size_t bytes) const noexcept;
+
+  /// Single 32-bit register transaction.
+  sim::SimTime register_write();
+  sim::SimTime register_read();
+
+  /// Burst DMA of `bytes` (padded to bus words) toward the device.
+  sim::SimTime dma_to_device(std::size_t bytes);
+  /// Burst DMA of `bytes` (padded to bus words) from the device.
+  sim::SimTime dma_from_device(std::size_t bytes);
+
+  /// Timing of a DMA without accounting (what-if queries for benches).
+  sim::SimTime dma_time(std::size_t bytes) const noexcept;
+  /// Timing of a single-word non-burst transfer sequence of `bytes`.
+  sim::SimTime programmed_io_time(std::size_t bytes) const noexcept;
+
+ private:
+  sim::SimTime single_word_time() const noexcept;
+
+  PciTiming timing_;
+  PciStats stats_;
+};
+
+}  // namespace aad::pci

@@ -1,0 +1,67 @@
+// Discrete-event scheduler.
+//
+// The MCU firmware model, PCI bus and configuration pipeline sequence their
+// work by posting events here.  Events at the same timestamp run in posting
+// order (stable), which keeps simulations deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aad::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedule `action` at absolute time `when` (>= now).
+  void schedule_at(SimTime when, Action action);
+
+  /// Schedule `action` `delay` after the current time.
+  void schedule_after(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Advance time without running events (used by analytic latency models
+  /// that fold a whole operation into one duration).
+  void advance(SimTime delay);
+
+  /// Run events until the queue drains.  Returns the number executed.
+  std::size_t run();
+
+  /// Run events with timestamp <= `deadline`; time ends at
+  /// max(now, deadline) even if the queue drained earlier.
+  std::size_t run_until(SimTime deadline);
+
+  bool idle() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Drop all pending events (device reset).
+  void clear();
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t sequence;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;  // stable FIFO among equal timestamps
+    }
+  };
+
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace aad::sim

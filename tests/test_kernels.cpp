@@ -1,0 +1,125 @@
+// Tests for the kernel catalog: completeness, footprint sanity, bitstream
+// buildability for every kernel, and cycle/host models' monotonicity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/kernels.h"
+#include "bitstream/stats.h"
+
+namespace aad::algorithms {
+namespace {
+
+TEST(CatalogTest, HasBothKindsAndUniqueIds) {
+  const auto& all = catalog();
+  EXPECT_GE(all.size(), 15u);
+  std::set<std::uint32_t> ids;
+  std::set<std::string> names;
+  unsigned netlist_count = 0, behavioral_count = 0;
+  for (const auto& s : all) {
+    EXPECT_TRUE(ids.insert(function_id(s.id)).second) << s.name;
+    EXPECT_TRUE(names.insert(s.name).second) << s.name;
+    if (s.kind == bitstream::FunctionKind::kNetlist) {
+      ++netlist_count;
+    } else {
+      ++behavioral_count;
+    }
+    EXPECT_NE(s.software, nullptr) << s.name;
+    EXPECT_NE(s.host_time, nullptr) << s.name;
+    EXPECT_NE(s.make_bitstream, nullptr) << s.name;
+    EXPECT_NE(s.make_input, nullptr) << s.name;
+    if (s.kind == bitstream::FunctionKind::kBehavioral)
+      EXPECT_NE(s.fabric_cycles, nullptr) << s.name;
+  }
+  EXPECT_GE(netlist_count, 8u);
+  EXPECT_GE(behavioral_count, 9u);
+}
+
+TEST(CatalogTest, SpecLookup) {
+  EXPECT_EQ(spec(KernelId::kAes128).name, "aes128");
+  EXPECT_EQ(spec(KernelId::kCrc32).kind, bitstream::FunctionKind::kNetlist);
+}
+
+TEST(CatalogTest, EveryKernelBuildsAValidBitstream) {
+  const fabric::FrameGeometry geometry;
+  for (const auto& s : catalog()) {
+    const auto bs = s.make_bitstream(geometry);
+    EXPECT_EQ(bs.info.kernel_id, function_id(s.id)) << s.name;
+    EXPECT_EQ(bs.info.kind, s.kind) << s.name;
+    EXPECT_EQ(bs.info.input_width, s.input_width) << s.name;
+    EXPECT_EQ(bs.info.output_width, s.output_width) << s.name;
+    EXPECT_EQ(bs.frame_count(), s.nominal_frames) << s.name;
+    // Must fit the device with room for at least one more small function.
+    EXPECT_LT(bs.frame_count(), geometry.frame_count) << s.name;
+    // Wire format roundtrip.
+    EXPECT_EQ(bitstream::parse(bitstream::serialize(bs)), bs) << s.name;
+  }
+}
+
+TEST(CatalogTest, SoftwareAcceptsCanonicalInput) {
+  for (const auto& s : catalog()) {
+    const Bytes in = s.make_input(2, 99);
+    const Bytes out = s.software(in);
+    EXPECT_FALSE(out.empty()) << s.name;
+  }
+}
+
+TEST(CatalogTest, BehavioralCycleModelsAreMonotonic) {
+  for (const auto& s : catalog()) {
+    if (!s.fabric_cycles) continue;
+    const Bytes small = s.make_input(1, 1);
+    const Bytes big = s.make_input(8, 1);
+    EXPECT_LE(s.fabric_cycles(small.size()), s.fabric_cycles(big.size()))
+        << s.name;
+    EXPECT_GT(s.fabric_cycles(small.size()), 0) << s.name;
+  }
+}
+
+TEST(CatalogTest, HostTimesGrowWithInput) {
+  for (KernelId id : {KernelId::kAes128, KernelId::kSha1, KernelId::kCrc32,
+                      KernelId::kFir16}) {
+    const auto& s = spec(id);
+    const Bytes small = s.make_input(1, 1);
+    const Bytes big = s.make_input(16, 1);
+    EXPECT_LT(s.host_time(small.size()), s.host_time(big.size())) << s.name;
+  }
+}
+
+TEST(CatalogTest, FootprintsCreatePressureOnDefaultDevice) {
+  // The behavioral working set must exceed the device so replacement
+  // actually happens in the experiments.
+  const fabric::FrameGeometry geometry;
+  unsigned total = 0;
+  for (const auto& s : catalog())
+    if (s.kind == bitstream::FunctionKind::kBehavioral)
+      total += s.nominal_frames;
+  EXPECT_GT(total, geometry.frame_count);
+}
+
+TEST(CatalogTest, UnknownIdThrows) {
+  EXPECT_THROW(spec(static_cast<KernelId>(999)), Error);
+}
+
+TEST(CatalogTest, BehavioralStreamsLookRealistic) {
+  const fabric::FrameGeometry geometry;
+  const auto bs = spec(KernelId::kAes128).make_bitstream(geometry);
+  const auto stats = bitstream::analyze(bs);
+  // Structured, not random: entropy well below 8 bits/byte, some zero words.
+  EXPECT_LT(stats.byte_entropy_bits, 6.5);
+  EXPECT_GT(stats.zero_word_fraction, 0.02);
+}
+
+TEST(RuntimeRegistryTest, RegistersWithoutDuplicates) {
+  mcu::RuntimeRegistry registry;
+  register_runtimes(registry);
+  EXPECT_TRUE(registry.has_netlist_driver(function_id(KernelId::kCrc32)));
+  EXPECT_TRUE(registry.has_netlist_driver(function_id(KernelId::kLfsr32)));
+  EXPECT_FALSE(registry.has_netlist_driver(function_id(KernelId::kAdder32)));
+  EXPECT_NO_THROW(registry.behavioral(function_id(KernelId::kAes128)));
+  EXPECT_THROW(registry.behavioral(function_id(KernelId::kAdder32)), Error);
+  // Double registration is a programming error.
+  EXPECT_THROW(register_runtimes(registry), Error);
+}
+
+}  // namespace
+}  // namespace aad::algorithms

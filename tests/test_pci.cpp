@@ -1,0 +1,90 @@
+// Tests for the PCI transaction-level model: padding to bus words, burst
+// amortization, programmed-IO vs DMA costs and statistics accounting.
+#include <gtest/gtest.h>
+
+#include "pci/pci.h"
+
+namespace aad::pci {
+namespace {
+
+TEST(PciPadding, RoundsToBusWords) {
+  PciBus bus;
+  EXPECT_EQ(bus.padded_size(0), 0u);
+  EXPECT_EQ(bus.padded_size(1), 4u);
+  EXPECT_EQ(bus.padded_size(4), 4u);
+  EXPECT_EQ(bus.padded_size(5), 8u);
+  EXPECT_EQ(bus.padded_size(1023), 1024u);
+}
+
+TEST(PciTimingModel, DmaScalesLinearlyAtLargeSizes) {
+  PciBus bus;
+  const auto t64k = bus.dma_time(64 * 1024);
+  const auto t128k = bus.dma_time(128 * 1024);
+  const double ratio = t128k.nanoseconds() / t64k.nanoseconds();
+  EXPECT_NEAR(ratio, 2.0, 0.05);
+}
+
+TEST(PciTimingModel, PeakThroughputApproachesBusLimit) {
+  // 32 bits @ 33 MHz = 133 MB/s theoretical; bursts should reach >80%.
+  PciBus bus;
+  const std::size_t bytes = 1 << 20;
+  const double seconds = bus.dma_time(bytes).seconds();
+  const double mbps = static_cast<double>(bytes) / seconds / 1e6;
+  EXPECT_GT(mbps, 0.80 * 133.0);
+  EXPECT_LT(mbps, 133.0);
+}
+
+TEST(PciTimingModel, ProgrammedIoMuchSlowerThanDma) {
+  PciBus bus;
+  const std::size_t bytes = 4096;
+  EXPECT_GT(bus.programmed_io_time(bytes).nanoseconds(),
+            3.0 * bus.dma_time(bytes).nanoseconds());
+}
+
+TEST(PciTimingModel, SmallTransfersDominatedByOverhead) {
+  PciBus bus;
+  const auto t4 = bus.dma_time(4);
+  const auto t64 = bus.dma_time(64);
+  // 16x the payload must cost far less than 16x the time.
+  EXPECT_LT(t64.nanoseconds(), 4.0 * t4.nanoseconds());
+}
+
+TEST(PciStatsTest, AccountingAccumulates) {
+  PciBus bus;
+  bus.register_write();
+  bus.register_read();
+  bus.dma_to_device(100);
+  bus.dma_from_device(10);
+  const PciStats& s = bus.stats();
+  EXPECT_EQ(s.register_writes, 1u);
+  EXPECT_EQ(s.register_reads, 1u);
+  EXPECT_EQ(s.dma_transfers, 2u);
+  EXPECT_EQ(s.bytes_to_device, 100u);
+  EXPECT_EQ(s.bytes_from_device, 12u);  // padded to bus words
+  EXPECT_GT(s.bus_time, sim::SimTime::zero());
+  bus.reset_stats();
+  EXPECT_EQ(bus.stats().dma_transfers, 0u);
+}
+
+TEST(PciConfig, InvalidTimingRejected) {
+  PciTiming bad;
+  bad.bus_width_bits = 12;
+  EXPECT_THROW(PciBus{bad}, Error);
+  PciTiming zero_burst;
+  zero_burst.max_burst_words = 0;
+  EXPECT_THROW(PciBus{zero_burst}, Error);
+}
+
+TEST(PciConfig, WiderOrFasterBusIsFaster) {
+  PciTiming pci64;
+  pci64.bus_width_bits = 64;
+  PciTiming pci66;
+  pci66.clock = sim::Frequency::mhz(66);
+  PciBus base, wide(pci64), fast(pci66);
+  const std::size_t bytes = 64 * 1024;
+  EXPECT_LT(wide.dma_time(bytes), base.dma_time(bytes));
+  EXPECT_LT(fast.dma_time(bytes), base.dma_time(bytes));
+}
+
+}  // namespace
+}  // namespace aad::pci

@@ -1,0 +1,194 @@
+// Tests for the Frame Replacement Policies (paper §2.5) against the Frame
+// Replacement Table, including the Belady oracle's dominance property.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "mcu/replacement.h"
+#include "workload/trace.h"
+
+namespace aad::mcu {
+namespace {
+
+FrameTableEntry entry(sim::SimTime last, std::uint64_t count) {
+  FrameTableEntry e;
+  e.last_access = last;
+  e.access_count = count;
+  return e;
+}
+
+TEST(LruPolicyTest, EvictsOldestTimestamp) {
+  auto lru = make_policy(PolicyKind::kLru);
+  FrameReplacementTable table;
+  table[1] = entry(sim::SimTime::us(30), 5);
+  table[2] = entry(sim::SimTime::us(10), 9);  // oldest
+  table[3] = entry(sim::SimTime::us(20), 1);
+  const FunctionId resident[] = {1, 2, 3};
+  EXPECT_EQ(lru->choose_victim(resident, table), 2u);
+}
+
+TEST(FifoPolicyTest, EvictsInLoadOrder) {
+  auto fifo = make_policy(PolicyKind::kFifo);
+  FrameReplacementTable table;
+  for (FunctionId f : {5u, 7u, 9u}) {
+    fifo->on_load(f, sim::SimTime::zero());
+    table[f] = entry(sim::SimTime::zero(), 1);
+  }
+  const FunctionId resident[] = {5, 7, 9};
+  EXPECT_EQ(fifo->choose_victim(resident, table), 5u);
+  fifo->on_evict(5);
+  const FunctionId rest[] = {7, 9};
+  EXPECT_EQ(fifo->choose_victim(rest, table), 7u);
+  // Re-accessing does not change FIFO order.
+  fifo->on_access(7, sim::SimTime::us(99));
+  EXPECT_EQ(fifo->choose_victim(rest, table), 7u);
+}
+
+TEST(LfuPolicyTest, EvictsLowestCountWithLruTieBreak) {
+  auto lfu = make_policy(PolicyKind::kLfu);
+  FrameReplacementTable table;
+  table[1] = entry(sim::SimTime::us(5), 3);
+  table[2] = entry(sim::SimTime::us(9), 1);
+  table[3] = entry(sim::SimTime::us(2), 1);  // same count, older
+  const FunctionId resident[] = {1, 2, 3};
+  EXPECT_EQ(lfu->choose_victim(resident, table), 3u);
+}
+
+TEST(RandomPolicyTest, DeterministicForSeedAndInRange) {
+  auto r1 = make_policy(PolicyKind::kRandom, 7);
+  auto r2 = make_policy(PolicyKind::kRandom, 7);
+  FrameReplacementTable table;
+  table[1] = table[2] = table[3] = entry(sim::SimTime::zero(), 1);
+  const FunctionId resident[] = {1, 2, 3};
+  std::set<FunctionId> seen;
+  for (int i = 0; i < 50; ++i) {
+    const FunctionId v = r1->choose_victim(resident, table);
+    EXPECT_EQ(v, r2->choose_victim(resident, table));
+    EXPECT_TRUE(v == 1 || v == 2 || v == 3);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 1u);  // actually random, not constant
+}
+
+TEST(BeladyPolicyTest, EvictsFarthestNextUse) {
+  auto belady = make_policy(PolicyKind::kBelady);
+  belady->set_future({1, 2, 3, 1, 2, 1});
+  FrameReplacementTable table;
+  table[1] = table[2] = table[3] = entry(sim::SimTime::zero(), 1);
+  const FunctionId resident[] = {1, 2, 3};
+  // At cursor 0 everything is ahead; 3 is used farthest (index 2)... no:
+  // next uses are 1->0, 2->1, 3->2, so evicting must pick the farthest
+  // *after* consuming the stream appropriately.  Before any accesses the
+  // farthest next use among {1,2,3} is 3 only until index 2; but 1 and 2
+  // recur later, so the latest FINAL pick is the one whose next use is max:
+  // next(1)=0, next(2)=1, next(3)=2 -> victim 3.
+  EXPECT_EQ(belady->choose_victim(resident, table), 3u);
+  // Consume 1, 2, 3.
+  belady->on_access(1, sim::SimTime::zero());
+  belady->on_access(2, sim::SimTime::zero());
+  belady->on_access(3, sim::SimTime::zero());
+  // Remaining future: 1, 2, 1.  next(3) = never -> victim 3.
+  EXPECT_EQ(belady->choose_victim(resident, table), 3u);
+  belady->on_access(1, sim::SimTime::zero());
+  // Remaining: 2, 1 -> next(1)=1, next(2)=0, next(3)=never.
+  EXPECT_EQ(belady->choose_victim(resident, table), 3u);
+}
+
+/// Simple frame-less cache simulation: capacity in "function slots".
+/// Returns the miss count for the given policy over the trace.
+unsigned simulate_misses(PolicyKind kind, const std::vector<FunctionId>& seq,
+                         std::size_t capacity) {
+  auto policy = make_policy(kind, 11);
+  policy->set_future(seq);
+  FrameReplacementTable table;
+  std::set<FunctionId> resident;
+  unsigned misses = 0;
+  sim::SimTime now = sim::SimTime::zero();
+  for (FunctionId f : seq) {
+    now += sim::SimTime::us(1);
+    if (!resident.contains(f)) {
+      ++misses;
+      if (resident.size() == capacity) {
+        std::vector<FunctionId> res(resident.begin(), resident.end());
+        const FunctionId victim = policy->choose_victim(res, table);
+        resident.erase(victim);
+        table.erase(victim);
+        policy->on_evict(victim);
+      }
+      resident.insert(f);
+      FrameTableEntry e;
+      e.loaded_at = now;
+      e.last_access = now;
+      e.access_count = 0;
+      table[f] = e;
+      policy->on_load(f, now);
+    }
+    table[f].last_access = now;
+    ++table[f].access_count;
+    policy->on_access(f, now);
+  }
+  return misses;
+}
+
+TEST(PolicyDominance, BeladyIsOptimalOnSkewedTraces) {
+  workload::TraceConfig config;
+  config.functions = {1, 2, 3, 4, 5, 6, 7, 8};
+  config.length = 2000;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    config.seed = seed;
+    const auto seq =
+        workload::function_sequence(workload::make_zipf(config, 1.0));
+    const unsigned belady = simulate_misses(PolicyKind::kBelady, seq, 4);
+    for (PolicyKind kind : {PolicyKind::kLru, PolicyKind::kFifo,
+                            PolicyKind::kLfu, PolicyKind::kRandom}) {
+      EXPECT_LE(belady, simulate_misses(kind, seq, 4))
+          << "policy " << to_string(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(PolicyDominance, LruBeatsRandomOnSkewedTraces) {
+  workload::TraceConfig config;
+  config.functions = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  config.length = 4000;
+  unsigned lru_total = 0;
+  unsigned random_total = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    config.seed = seed;
+    const auto seq =
+        workload::function_sequence(workload::make_zipf(config, 1.2));
+    lru_total += simulate_misses(PolicyKind::kLru, seq, 4);
+    random_total += simulate_misses(PolicyKind::kRandom, seq, 4);
+  }
+  EXPECT_LT(lru_total, random_total);
+}
+
+TEST(PolicyDominance, RoundRobinIsLrusWorstCase) {
+  // Cyclic access over capacity+1 functions: LRU misses everything; random
+  // sometimes gets lucky.
+  std::vector<FunctionId> seq;
+  for (int i = 0; i < 500; ++i) seq.push_back(1 + (i % 5));
+  const unsigned lru = simulate_misses(PolicyKind::kLru, seq, 4);
+  EXPECT_EQ(lru, 500u);  // total thrash
+  EXPECT_LT(simulate_misses(PolicyKind::kRandom, seq, 4), 500u);
+}
+
+TEST(PolicyFactory, KindsAndNames) {
+  for (PolicyKind kind : {PolicyKind::kLru, PolicyKind::kFifo,
+                          PolicyKind::kLfu, PolicyKind::kRandom,
+                          PolicyKind::kBelady}) {
+    const auto policy = make_policy(kind);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_EQ(policy->name(), to_string(kind));
+  }
+}
+
+TEST(PolicyEdge, EmptyResidentSetThrows) {
+  auto lru = make_policy(PolicyKind::kLru);
+  FrameReplacementTable table;
+  EXPECT_THROW(lru->choose_victim({}, table), Error);
+}
+
+}  // namespace
+}  // namespace aad::mcu

@@ -1,0 +1,108 @@
+// Tests for the mini-OS state reports (frame map, Frame Replacement Table
+// rendering) and geometry-parameterized end-to-end integration: the whole
+// stack must work unchanged across device shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/coprocessor.h"
+#include "mcu/report.h"
+
+namespace aad {
+namespace {
+
+using algorithms::KernelId;
+
+TEST(FrameMapTest, EmptyDeviceAllDots) {
+  core::AgileCoprocessor cp;
+  const std::string map = mcu::frame_map(cp.mcu());
+  EXPECT_EQ(map.size(), cp.fabric().geometry().frame_count);
+  EXPECT_EQ(map, std::string(map.size(), '.'));
+}
+
+TEST(FrameMapTest, ResidentFunctionsGetLetters) {
+  core::AgileCoprocessor cp;
+  cp.download(KernelId::kAes128);
+  cp.download(KernelId::kXtea);
+  cp.preload(KernelId::kAes128);
+  cp.preload(KernelId::kXtea);
+  const std::string map = mcu::frame_map(cp.mcu());
+  const auto a_count = std::count(map.begin(), map.end(), 'A');
+  const auto b_count = std::count(map.begin(), map.end(), 'B');
+  EXPECT_EQ(static_cast<unsigned>(a_count + b_count),
+            algorithms::spec(KernelId::kAes128).nominal_frames +
+                algorithms::spec(KernelId::kXtea).nominal_frames);
+  EXPECT_NE(map.find('.'), std::string::npos);  // free frames remain
+}
+
+TEST(FrameMapTest, EvictionReturnsDots) {
+  core::AgileCoprocessor cp;
+  cp.download(KernelId::kXtea);
+  cp.preload(KernelId::kXtea);
+  cp.evict(KernelId::kXtea);
+  const std::string map = mcu::frame_map(cp.mcu());
+  EXPECT_EQ(map, std::string(map.size(), '.'));
+}
+
+TEST(FrameTableReportTest, MentionsResidents) {
+  core::AgileCoprocessor cp;
+  cp.download(KernelId::kSha1);
+  cp.preload(KernelId::kSha1);
+  const std::string report = mcu::frame_table_report(cp.mcu());
+  EXPECT_NE(report.find("1 resident"), std::string::npos);
+  EXPECT_NE(report.find("8 frames"), std::string::npos);
+}
+
+// --- geometry sweep: the whole stack on different device shapes ---------------
+
+struct GeometryCase {
+  unsigned frames;
+  unsigned rows;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeometryCase> {};
+
+TEST_P(GeometrySweep, NetlistKernelsComputeOnAnyDevice) {
+  const auto& param = GetParam();
+  core::CoprocessorConfig config;
+  config.fabric.geometry.frame_count = param.frames;
+  config.fabric.geometry.clb_rows = param.rows;
+  core::AgileCoprocessor cp(config);
+
+  for (KernelId id : {KernelId::kAdder32, KernelId::kCrc32,
+                      KernelId::kParity32}) {
+    const auto& spec = algorithms::spec(id);
+    cp.download(id);
+    const Bytes input = spec.make_input(3, param.frames * 100 + param.rows);
+    EXPECT_EQ(cp.invoke(id, input).output, spec.software(input))
+        << spec.name << " on " << param.frames << "x" << param.rows;
+  }
+}
+
+TEST_P(GeometrySweep, FootprintScalesInverselyWithRowHeight) {
+  const auto& param = GetParam();
+  fabric::FrameGeometry geometry;
+  geometry.frame_count = param.frames;
+  geometry.clb_rows = param.rows;
+  const auto bs = algorithms::spec(KernelId::kCrc32).make_bitstream(geometry);
+  // LUT count is geometry-independent; frames = ceil(luts / (4 * rows)).
+  const auto reference =
+      algorithms::spec(KernelId::kCrc32).make_bitstream({});
+  const std::size_t luts_upper =
+      reference.frame_count() * fabric::FrameGeometry{}.slots_per_frame();
+  EXPECT_LE(bs.frame_count() * geometry.slots_per_frame(),
+            luts_upper + geometry.slots_per_frame());
+  EXPECT_LE(bs.frame_count(), geometry.frame_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    ::testing::Values(GeometryCase{48, 16}, GeometryCase{24, 8},
+                      GeometryCase{96, 32}, GeometryCase{12, 64}),
+    [](const ::testing::TestParamInfo<GeometryCase>& info) {
+      return std::to_string(info.param.frames) + "x" +
+             std::to_string(info.param.rows);
+    });
+
+}  // namespace
+}  // namespace aad

@@ -1,0 +1,137 @@
+// Unit tests for src/sim: simulated time, frequencies, the discrete-event
+// scheduler's ordering guarantees, and activity tracing.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+#include "sim/trace.h"
+
+namespace aad::sim {
+namespace {
+
+TEST(SimTimeTest, UnitConversions) {
+  EXPECT_EQ(SimTime::ns(1).picoseconds(), 1000);
+  EXPECT_EQ(SimTime::us(1).picoseconds(), 1'000'000);
+  EXPECT_EQ(SimTime::ms(1).picoseconds(), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::us(2.5).microseconds(), 2.5);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  const SimTime a = SimTime::ns(10);
+  const SimTime b = SimTime::ns(3);
+  EXPECT_EQ((a + b).picoseconds(), 13000);
+  EXPECT_EQ((a - b).picoseconds(), 7000);
+  EXPECT_EQ((b * 4).picoseconds(), 12000);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(SimTime::zero().picoseconds(), 0);
+}
+
+TEST(FrequencyTest, PeriodAndCycles) {
+  const Frequency f = Frequency::mhz(100);
+  EXPECT_EQ(f.period().picoseconds(), 10'000);  // 10 ns
+  EXPECT_EQ(f.cycles(5).picoseconds(), 50'000);
+  EXPECT_EQ(Frequency::mhz(33).cycles(33).nanoseconds(),
+            33.0 * Frequency::mhz(33).period().nanoseconds());
+}
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::ns(30), [&] { order.push_back(3); });
+  s.schedule_at(SimTime::ns(10), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::ns(20), [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), SimTime::ns(30));
+}
+
+TEST(SchedulerTest, FifoAmongEqualTimestamps) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    s.schedule_at(SimTime::ns(5), [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::ns(1), [&] {
+    ++fired;
+    s.schedule_after(SimTime::ns(1), [&] { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), SimTime::ns(2));
+}
+
+TEST(SchedulerTest, CannotScheduleInThePast) {
+  Scheduler s;
+  s.schedule_at(SimTime::ns(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(SimTime::ns(5), [] {}), Error);
+}
+
+TEST(SchedulerTest, AdvanceRunsDueEventsAndMovesTime) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(SimTime::ns(5), [&] { ran = true; });
+  s.advance(SimTime::ns(10));
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), SimTime::ns(10));
+  EXPECT_THROW(s.advance(SimTime::ns(-1)), Error);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::ns(5), [&] { ++fired; });
+  s.schedule_at(SimTime::ns(15), [&] { ++fired; });
+  EXPECT_EQ(s.run_until(SimTime::ns(10)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), SimTime::ns(10));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, ClearDropsPending) {
+  Scheduler s;
+  s.schedule_at(SimTime::ns(5), [] { FAIL() << "should have been cleared"; });
+  s.clear();
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(TraceTest, StageTotalsAccumulate) {
+  Trace t;
+  t.record(Stage::kRom, "a", SimTime::ns(0), SimTime::ns(10));
+  t.record(Stage::kRom, "b", SimTime::ns(10), SimTime::ns(30));
+  t.record(Stage::kExecute, "c", SimTime::ns(5), SimTime::ns(6));
+  const auto totals = t.stage_totals();
+  EXPECT_EQ(totals.at(Stage::kRom), SimTime::ns(30));
+  EXPECT_EQ(totals.at(Stage::kExecute), SimTime::ns(1));
+  EXPECT_EQ(t.spans().size(), 3u);
+}
+
+TEST(TraceTest, DisabledTraceRecordsNothing) {
+  Trace t;
+  t.set_enabled(false);
+  t.record(Stage::kRom, "a", SimTime::ns(0), SimTime::ns(10));
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TraceTest, SummaryMentionsStages) {
+  Trace t;
+  t.record(Stage::kConfigure, "f", SimTime::ns(0), SimTime::ns(4));
+  EXPECT_NE(t.summary().find("configure"), std::string::npos);
+}
+
+TEST(SimTimeTest, ToStringPicksUnits) {
+  EXPECT_NE(to_string(SimTime::ns(5)).find("ns"), std::string::npos);
+  EXPECT_NE(to_string(SimTime::us(5)).find("us"), std::string::npos);
+  EXPECT_NE(to_string(SimTime::ms(5)).find("ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aad::sim

@@ -1,0 +1,127 @@
+// Tests for the workload/trace generators.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "workload/trace.h"
+
+namespace aad::workload {
+namespace {
+
+TraceConfig base_config() {
+  TraceConfig config;
+  config.functions = {10, 20, 30, 40, 50};
+  config.length = 5000;
+  config.seed = 7;
+  return config;
+}
+
+std::map<FunctionId, std::size_t> histogram(const Trace& trace) {
+  std::map<FunctionId, std::size_t> h;
+  for (const auto& r : trace) ++h[r.function];
+  return h;
+}
+
+TEST(WorkloadTest, UniformCoversBankEvenly) {
+  const auto trace = make_uniform(base_config());
+  ASSERT_EQ(trace.size(), 5000u);
+  const auto h = histogram(trace);
+  EXPECT_EQ(h.size(), 5u);
+  for (const auto& [fn, count] : h)
+    EXPECT_NEAR(static_cast<double>(count), 1000.0, 150.0);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const auto a = make_uniform(base_config());
+  const auto b = make_uniform(base_config());
+  EXPECT_EQ(function_sequence(a), function_sequence(b));
+  auto config = base_config();
+  config.seed = 8;
+  EXPECT_NE(function_sequence(make_uniform(config)), function_sequence(a));
+}
+
+TEST(WorkloadTest, ZipfIsSkewedTowardRankOne) {
+  const auto trace = make_zipf(base_config(), 1.2);
+  const auto h = histogram(trace);
+  // Rank 1 (function 10) must dominate rank 5 (function 50) heavily.
+  EXPECT_GT(h.at(10), h.at(50) * 3);
+  // And ordering should be monotone overall.
+  EXPECT_GT(h.at(10), h.at(30));
+  EXPECT_GT(h.at(30), h.at(50));
+}
+
+TEST(WorkloadTest, HigherExponentMoreSkew) {
+  const auto mild = histogram(make_zipf(base_config(), 0.5));
+  const auto steep = histogram(make_zipf(base_config(), 2.0));
+  const double mild_share =
+      static_cast<double>(mild.at(10)) / 5000.0;
+  const double steep_share =
+      static_cast<double>(steep.at(10)) / 5000.0;
+  EXPECT_GT(steep_share, mild_share + 0.15);
+}
+
+TEST(WorkloadTest, RoundRobinCycles) {
+  auto config = base_config();
+  config.length = 12;
+  const auto trace = make_round_robin(config);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    EXPECT_EQ(trace[i].function, config.functions[i % 5]);
+}
+
+TEST(WorkloadTest, PhasedStaysInWorkingSet) {
+  auto config = base_config();
+  config.length = 400;
+  const auto trace = make_phased(config, /*working_set=*/2,
+                                 /*phase_length=*/100);
+  // Within the first phase only functions[0..1] appear.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(trace[i].function == 10 || trace[i].function == 20)
+        << "at " << i;
+  }
+  // A later phase has shifted.
+  bool saw_shifted = false;
+  for (std::size_t i = 300; i < 400; ++i)
+    if (trace[i].function != 10 && trace[i].function != 20) saw_shifted = true;
+  EXPECT_TRUE(saw_shifted);
+}
+
+TEST(WorkloadTest, MarkovStickinessRepeats) {
+  const auto sticky = make_markov(base_config(), 0.9);
+  const auto loose = make_markov(base_config(), 0.0);
+  auto repeats = [](const Trace& t) {
+    std::size_t n = 0;
+    for (std::size_t i = 1; i < t.size(); ++i)
+      if (t[i].function == t[i - 1].function) ++n;
+    return n;
+  };
+  EXPECT_GT(repeats(sticky), repeats(loose) * 2);
+}
+
+TEST(WorkloadTest, PayloadBlocksPropagate) {
+  auto config = base_config();
+  config.payload_blocks = 7;
+  for (const auto& r : make_uniform(config)) EXPECT_EQ(r.payload_blocks, 7u);
+}
+
+TEST(WorkloadTest, InvalidConfigsRejected) {
+  TraceConfig empty;
+  empty.length = 10;
+  EXPECT_THROW(make_uniform(empty), Error);
+  auto config = base_config();
+  EXPECT_THROW(make_zipf(config, 0.0), Error);
+  EXPECT_THROW(make_phased(config, 0, 10), Error);
+  EXPECT_THROW(make_phased(config, 9, 10), Error);
+  EXPECT_THROW(make_markov(config, 1.0), Error);
+}
+
+TEST(WorkloadTest, FunctionSequenceMatchesTrace) {
+  const auto trace = make_uniform(base_config());
+  const auto seq = function_sequence(trace);
+  ASSERT_EQ(seq.size(), trace.size());
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    EXPECT_EQ(seq[i], trace[i].function);
+}
+
+}  // namespace
+}  // namespace aad::workload
