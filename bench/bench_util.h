@@ -1,13 +1,16 @@
-// Shared helpers for the experiment benches: table printing and a common
-// main() that first emits the experiment's deterministic result table (the
-// "paper row" regeneration) and then runs the google-benchmark wall-clock
-// measurements.
+// Shared helpers for the experiment benches: table printing, a JSON results
+// emitter (`--json <path>` captures the deterministic numbers for the perf
+// trajectory across PRs), and a common main() that first emits the
+// experiment's deterministic result table (the "paper row" regeneration)
+// and then runs the google-benchmark wall-clock measurements.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aad::bench {
@@ -41,13 +44,107 @@ inline std::string fmt_u(std::uint64_t value) {
   return std::to_string(value);
 }
 
+/// Machine-readable experiment results.  Benches record named metrics while
+/// printing their tables; when the process was started with `--json <path>`
+/// the registry is written as one flat JSON object, giving future PRs a
+/// perf trajectory that scripts can diff.  Insertion order is preserved.
+class JsonResults {
+ public:
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    upsert(key, buf);
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    upsert(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::int64_t value) {
+    upsert(key, std::to_string(value));
+  }
+  void set_string(const std::string& key, const std::string& value) {
+    upsert(key, '"' + escaped(value) + '"');
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Write `{"key": value, ...}`; returns false on I/O failure.
+  bool write(const char* path) const {
+    std::FILE* f = std::fopen(path, "w");
+    if (!f) return false;
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+      std::fprintf(f, "  \"%s\": %s%s\n", escaped(entries_[i].first).c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    std::fputs("}\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  void upsert(const std::string& key, std::string value) {
+    for (auto& [k, v] : entries_)
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    entries_.emplace_back(key, std::move(value));
+  }
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// The process-wide results registry benches record into.
+inline JsonResults& json() {
+  static JsonResults results;
+  return results;
+}
+
 }  // namespace aad::bench
 
-/// Each bench defines this: prints its experiment table(s).
+/// Each bench defines this: prints its experiment table(s) and records
+/// machine-readable metrics via aad::bench::json().
 void run_experiment();
 
 int main(int argc, char** argv) {
+  // Strip our `--json <path>` flag before google-benchmark sees the args.
+  const char* json_path = nullptr;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   run_experiment();
+  if (json_path && !aad::bench::json().write(json_path)) {
+    std::fprintf(stderr, "failed to write JSON results to %s\n", json_path);
+    return 1;
+  }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

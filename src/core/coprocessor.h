@@ -90,9 +90,14 @@ class AgileCoprocessor {
   /// Host-directed swap-out.
   void evict(algorithms::KernelId kernel);
 
+  /// PCI command setup cost: `registers` doorbell writes + one status poll.
+  /// (Shared with the event-driven CoprocessorServer.)
+  sim::SimTime pci_command_overhead(unsigned registers);
+
   // --- introspection ----------------------------------------------------------
   CoprocessorStats stats() const;
   sim::SimTime now() const noexcept { return scheduler_.now(); }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
   const sim::Trace& trace() const noexcept { return trace_; }
   sim::Trace& trace() noexcept { return trace_; }
   const fabric::Fabric& fabric() const noexcept { return fabric_; }
@@ -101,8 +106,6 @@ class AgileCoprocessor {
   pci::PciBus& bus() noexcept { return bus_; }
 
  private:
-  sim::SimTime pci_command_overhead(unsigned registers);
-
   sim::Scheduler scheduler_;
   sim::Trace trace_;
   fabric::Fabric fabric_;

@@ -1,0 +1,173 @@
+#include "core/server.h"
+
+#include <algorithm>
+
+namespace aad::core {
+namespace {
+
+sim::SimTime percentile(const std::vector<sim::SimTime>& sorted, double q) {
+  if (sorted.empty()) return sim::SimTime::zero();
+  // Nearest-rank: the smallest value with at least q of the mass below it.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(q * n + 0.999999);
+  rank = std::clamp<std::size_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+CoprocessorServer::CoprocessorServer(AgileCoprocessor& card) : card_(card) {}
+
+CoprocessorServer::Pending& CoprocessorServer::pending(std::uint64_t id) {
+  const auto it = queue_.find(id);
+  AAD_CHECK(it != queue_.end(), "unknown in-flight request id");
+  return it->second;
+}
+
+std::uint64_t CoprocessorServer::submit(unsigned client,
+                                        algorithms::KernelId kernel,
+                                        Bytes input, Completion done) {
+  return submit_function_at(now(), client, algorithms::function_id(kernel),
+                            std::move(input), std::move(done));
+}
+
+std::uint64_t CoprocessorServer::submit_function(unsigned client,
+                                                 memory::FunctionId function,
+                                                 Bytes input, Completion done) {
+  return submit_function_at(now(), client, function, std::move(input),
+                            std::move(done));
+}
+
+std::uint64_t CoprocessorServer::submit_function_at(sim::SimTime when,
+                                                    unsigned client,
+                                                    memory::FunctionId function,
+                                                    Bytes input,
+                                                    Completion done) {
+  AAD_REQUIRE(when >= now(), "cannot submit a request in the past");
+  const std::uint64_t id = next_id_++;
+  Pending p;
+  p.request.id = id;
+  p.request.client = client;
+  p.request.function = function;
+  p.request.submit_time = when;
+  p.input = std::move(input);
+  p.done = std::move(done);
+  queue_.emplace(id, std::move(p));
+  ++in_flight_;
+  ++submitted_;
+  card_.scheduler().schedule_at(when, [this, id] { begin_pci_in(id); });
+  return id;
+}
+
+void CoprocessorServer::begin_pci_in(std::uint64_t id) {
+  Pending& p = pending(id);
+  pci::PciBus& bus = card_.bus();
+  // Command setup (4 doorbell registers + status poll) plus the input DMA
+  // occupy the bus as one arbitration unit, exactly as the synchronous
+  // driver issues them.
+  const sim::SimTime duration =
+      card_.pci_command_overhead(4) + bus.dma_to_device(p.input.size());
+  const pci::BusGrant grant = bus.acquire(now(), duration);
+  p.request.pci_in_start = grant.start;
+  p.request.pci_in_time = duration;
+  p.request.bus_wait += grant.queue_delay;
+  card_.trace().record(sim::Stage::kHostPci, "server/in", grant.start,
+                       grant.end);
+  card_.scheduler().schedule_at(grant.end, [this, id] { begin_device(id); });
+}
+
+void CoprocessorServer::begin_device(std::uint64_t id) {
+  Pending& p = pending(id);
+  // The card serves requests FIFO in data-arrival order: reserve the next
+  // free window now and plan both device stages into it.  Mutating MCU
+  // state here is safe because reservations are made in chronological
+  // order, so the residency/eviction decisions happen in service order.
+  const sim::SimTime start = std::max(now(), device_free_);
+  p.request.device_wait = start - now();
+  p.request.device_start = start;
+
+  const mcu::PreparedInvoke prep =
+      card_.mcu().prepare_invoke(p.request.function, start);
+  mcu::ExecutedInvoke run = card_.mcu().execute_invoke(
+      p.request.function, p.input, start + prep.time);
+
+  p.request.load = prep.load;
+  p.request.prepare_time = prep.time;
+  p.request.execute_time = run.time;
+  p.request.exec_cycles = run.exec_cycles;
+  p.request.output = std::move(run.output);
+  Bytes().swap(p.input);  // payload has been consumed by the card
+
+  device_free_ = start + prep.time + run.time;
+  card_.scheduler().schedule_at(device_free_,
+                                [this, id] { begin_pci_out(id); });
+}
+
+void CoprocessorServer::begin_pci_out(std::uint64_t id) {
+  Pending& p = pending(id);
+  pci::PciBus& bus = card_.bus();
+  const sim::SimTime duration =
+      bus.dma_from_device(p.request.output.size()) + bus.register_read();
+  const pci::BusGrant grant = bus.acquire(now(), duration);
+  p.request.pci_out_start = grant.start;
+  p.request.pci_out_time = duration;
+  p.request.bus_wait += grant.queue_delay;
+  card_.trace().record(sim::Stage::kHostPci, "server/out", grant.start,
+                       grant.end);
+  card_.scheduler().schedule_at(grant.end, [this, id] { complete(id); });
+}
+
+void CoprocessorServer::complete(std::uint64_t id) {
+  const auto it = queue_.find(id);
+  AAD_CHECK(it != queue_.end(), "completing an unknown request");
+  ServerRequest request = std::move(it->second.request);
+  const Completion done = std::move(it->second.done);
+  queue_.erase(it);
+  --in_flight_;
+  request.complete_time = now();
+  completed_.push_back(request);
+  if (done) done(completed_.back());
+}
+
+std::size_t CoprocessorServer::run() { return card_.scheduler().run(); }
+
+std::size_t CoprocessorServer::run_until(sim::SimTime deadline) {
+  return card_.scheduler().run_until(deadline);
+}
+
+ServerStats CoprocessorServer::stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_;
+  stats.completed = completed_.size();
+  if (completed_.empty()) return stats;
+
+  sim::SimTime first_submit = completed_.front().submit_time;
+  sim::SimTime last_complete = completed_.front().complete_time;
+  sim::SimTime sum;
+  std::vector<sim::SimTime> latencies;
+  latencies.reserve(completed_.size());
+  for (const ServerRequest& r : completed_) {
+    first_submit = std::min(first_submit, r.submit_time);
+    last_complete = std::max(last_complete, r.complete_time);
+    latencies.push_back(r.latency());
+    sum += r.latency();
+    stats.total_bus_wait += r.bus_wait;
+    stats.total_device_wait += r.device_wait;
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  stats.makespan = last_complete - first_submit;
+  if (stats.makespan > sim::SimTime::zero())
+    stats.throughput_rps =
+        static_cast<double>(completed_.size()) / stats.makespan.seconds();
+  stats.latency.min = latencies.front();
+  stats.latency.max = latencies.back();
+  stats.latency.mean = sim::SimTime::ps(
+      sum.picoseconds() / static_cast<std::int64_t>(latencies.size()));
+  stats.latency.p50 = percentile(latencies, 0.50);
+  stats.latency.p90 = percentile(latencies, 0.90);
+  stats.latency.p99 = percentile(latencies, 0.99);
+  return stats;
+}
+
+}  // namespace aad::core

@@ -1,0 +1,144 @@
+// CoprocessorServer: the event-driven, multi-client front end of the card.
+//
+// The synchronous AgileCoprocessor::invoke folds a whole invocation into one
+// blocking call.  The server instead drives every request through the
+// discrete-event scheduler as four staged events,
+//
+//   submit ──► PCI data-in ──► device (reconfig + execute) ──► PCI data-out
+//
+// with two shared resources arbitrated independently:
+//   * the PCI bus      — one transfer at a time (pci::PciBus::acquire),
+//   * the card itself  — MCU firmware, configuration engine and fabric
+//                        serialize per request, FIFO in data-arrival order.
+//
+// Because the resources are independent, request B's input DMA overlaps
+// request A's reconfiguration or execution, and back-to-back requests for a
+// resident function pipeline: the card computes while the bus streams the
+// next payload.  stats() reports per-request latency percentiles and
+// throughput; every future scaling PR (sharding, multi-fabric, preemption)
+// slots into this pipeline.
+//
+// Typical use:
+//
+//   aad::core::AgileCoprocessor card;
+//   card.download_all();
+//   aad::core::CoprocessorServer server(card);
+//   server.submit(/*client=*/0, KernelId::kAes128, input_a);
+//   server.submit(/*client=*/1, KernelId::kSha256, input_b);
+//   server.run();                       // drain the event queue
+//   auto st = server.stats();           // p50/p99 latency, throughput
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/coprocessor.h"
+
+namespace aad::core {
+
+/// One completed (or in-flight) request, with its full time breakdown.
+struct ServerRequest {
+  std::uint64_t id = 0;          ///< submission order, dense from 0
+  unsigned client = 0;           ///< logical client that issued it
+  memory::FunctionId function = 0;
+  Bytes output;
+  mcu::LoadResult load;          ///< hit/miss + reconfiguration breakdown
+  std::int64_t exec_cycles = 0;
+
+  sim::SimTime submit_time;      ///< arrival at the host driver
+  sim::SimTime pci_in_start;     ///< bus granted for the input DMA
+  sim::SimTime device_start;     ///< card begins firmware + load + execute
+  sim::SimTime pci_out_start;    ///< bus granted for the output DMA
+  sim::SimTime complete_time;    ///< host observes completion
+
+  sim::SimTime pci_in_time;      ///< command setup + input DMA occupancy
+  sim::SimTime prepare_time;     ///< firmware + eviction + reconfiguration
+  sim::SimTime execute_time;     ///< RAM staging + fabric execution
+  sim::SimTime pci_out_time;     ///< output DMA + status occupancy
+  sim::SimTime bus_wait;         ///< PCI arbitration queuing delay
+  sim::SimTime device_wait;      ///< queued behind other requests' device use
+
+  sim::SimTime latency() const noexcept { return complete_time - submit_time; }
+};
+
+struct LatencySummary {
+  sim::SimTime min, mean, p50, p90, p99, max;
+};
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  sim::SimTime makespan;         ///< first submission -> last completion
+  double throughput_rps = 0.0;   ///< completed per simulated second
+  LatencySummary latency;        ///< over completed requests
+  sim::SimTime total_bus_wait;
+  sim::SimTime total_device_wait;
+};
+
+class CoprocessorServer {
+ public:
+  /// Completion hook, fired from inside the event loop when the request's
+  /// output DMA finishes.  May submit further requests (closed-loop clients).
+  using Completion = std::function<void(const ServerRequest&)>;
+
+  /// The card must outlive the server.  Functions are provisioned through
+  /// the card as before (download / download_all).
+  explicit CoprocessorServer(AgileCoprocessor& card);
+
+  // --- submission ----------------------------------------------------------
+
+  /// Queue an invocation arriving now.  Returns the request id.
+  std::uint64_t submit(unsigned client, algorithms::KernelId kernel,
+                       Bytes input, Completion done = {});
+  std::uint64_t submit_function(unsigned client, memory::FunctionId function,
+                                Bytes input, Completion done = {});
+  /// Queue an invocation arriving at absolute time `when` (>= now) —
+  /// open-loop traffic.
+  std::uint64_t submit_function_at(sim::SimTime when, unsigned client,
+                                   memory::FunctionId function, Bytes input,
+                                   Completion done = {});
+
+  // --- event loop ----------------------------------------------------------
+
+  /// Run until every submitted request (including any submitted by
+  /// completion hooks) has finished.  Returns events executed.
+  std::size_t run();
+  /// Run events up to `deadline`; in-flight requests stay queued.
+  std::size_t run_until(sim::SimTime deadline);
+
+  // --- introspection -------------------------------------------------------
+
+  sim::SimTime now() const noexcept { return card_.now(); }
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  const std::vector<ServerRequest>& completed() const noexcept {
+    return completed_;
+  }
+  /// Latency percentiles, throughput and queueing totals so far.
+  ServerStats stats() const;
+  AgileCoprocessor& card() noexcept { return card_; }
+
+ private:
+  struct Pending {
+    ServerRequest request;
+    Bytes input;
+    Completion done;
+  };
+
+  void begin_pci_in(std::uint64_t id);
+  void begin_device(std::uint64_t id);
+  void begin_pci_out(std::uint64_t id);
+  void complete(std::uint64_t id);
+  Pending& pending(std::uint64_t id);
+
+  AgileCoprocessor& card_;
+  std::map<std::uint64_t, Pending> queue_;  ///< in-flight, by request id
+  std::uint64_t next_id_ = 0;
+  std::size_t in_flight_ = 0;
+  sim::SimTime device_free_;         ///< card busy-until (FIFO service)
+  std::vector<ServerRequest> completed_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace aad::core

@@ -17,11 +17,9 @@ Mcu::Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
       free_list_(fabric.geometry().frame_count),
       policy_(make_policy(config.policy, config.policy_seed)) {}
 
-sim::SimTime Mcu::firmware_delay(unsigned cycles) {
+sim::SimTime Mcu::firmware_cost(unsigned cycles, sim::SimTime start) {
   const sim::SimTime t = config_.mcu_clock.cycles(cycles);
-  const sim::SimTime begin = scheduler_.now();
-  scheduler_.advance(t);
-  trace_.record(sim::Stage::kFirmware, "firmware", begin, scheduler_.now());
+  trace_.record(sim::Stage::kFirmware, "firmware", start, start + t);
   return t;
 }
 
@@ -69,7 +67,7 @@ std::vector<memory::FunctionId> Mcu::resident_functions() const {
   return out;
 }
 
-void Mcu::evict_locked(memory::FunctionId id) {
+sim::SimTime Mcu::evict_cost(memory::FunctionId id, sim::SimTime start) {
   const auto it = loaded_.find(id);
   AAD_CHECK(it != loaded_.end(), "evicting a non-resident function");
   free_list_.release(it->second.frames);
@@ -77,17 +75,23 @@ void Mcu::evict_locked(memory::FunctionId id) {
   table_.erase(id);
   loaded_.erase(it);
   ++stats_.evictions;
-  firmware_delay(config_.eviction_overhead_cycles);
+  return firmware_cost(config_.eviction_overhead_cycles, start);
 }
 
 void Mcu::evict(memory::FunctionId id) {
   AAD_REQUIRE(loaded_.contains(id), "function not resident");
-  evict_locked(id);
+  scheduler_.advance(evict_cost(id, scheduler_.now()));
 }
 
 DefragResult Mcu::defragment() {
+  const DefragResult result = defragment_at(scheduler_.now());
+  scheduler_.advance(result.time);
+  return result;
+}
+
+DefragResult Mcu::defragment_at(sim::SimTime start) {
   DefragResult result;
-  const sim::SimTime begin = scheduler_.now();
+  sim::SimTime t = start;
   ++stats_.defragmentations;
 
   // Pack resident functions toward frame 0, in ascending order of their
@@ -112,10 +116,9 @@ DefragResult Mcu::defragment() {
     }
     free_list_.release(fn.frames);
     free_list_.claim(target);
-    const ConfigureResult cfg =
-        engine_.configure(rom_, fn.record, target, fabric_,
-                          config_.rom_timing, &trace_, scheduler_.now());
-    scheduler_.advance(cfg.total);
+    const ConfigureResult cfg = engine_.configure(
+        rom_, fn.record, target, fabric_, config_.rom_timing, &trace_, t);
+    t += cfg.total;
     stats_.frames_configured += cfg.frames_written;
     stats_.frames_skipped += cfg.frames_skipped;
     stats_.compressed_bytes_streamed += cfg.compressed_bytes;
@@ -126,10 +129,10 @@ DefragResult Mcu::defragment() {
     table_.at(id).frames = target;
     ++result.functions_moved;
     result.frames_reconfigured += cfg.frames_written;
-    firmware_delay(config_.eviction_overhead_cycles);
+    t += firmware_cost(config_.eviction_overhead_cycles, t);
     next += fn.record.frames;
   }
-  result.time = scheduler_.now() - begin;
+  result.time = t - start;
   return result;
 }
 
@@ -141,15 +144,25 @@ void Mcu::reset_fabric() {
 }
 
 LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
+  sim::SimTime elapsed;
+  const LoadResult result = load_at(id, scheduler_.now(), &elapsed);
+  scheduler_.advance(elapsed);
+  return result;
+}
+
+LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
+                        sim::SimTime* elapsed) {
   LoadResult result;
+  sim::SimTime t = start;
+  *elapsed = sim::SimTime::zero();
 
   if (const auto it = loaded_.find(id); it != loaded_.end()) {
     // Config hit: just refresh the Frame Replacement Table timestamp.
     result.hit = true;
     auto& entry = table_.at(id);
-    entry.last_access = scheduler_.now();
+    entry.last_access = t;
     ++entry.access_count;
-    policy_->on_access(id, scheduler_.now());
+    policy_->on_access(id, t);
     ++stats_.config_hits;
     return result;
   }
@@ -175,7 +188,7 @@ LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
     if (!tried_defrag && config_.defragment_on_pressure &&
         free_list_.free_count() >= record->frames) {
       tried_defrag = true;
-      defragment();
+      t += defragment_at(t).time;
       continue;
     }
     const auto resident = resident_functions();
@@ -185,15 +198,15 @@ LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
                "(fragmentation-free allocation impossible)");
     const memory::FunctionId victim =
         policy_->choose_victim(resident, table_);
-    evict_locked(victim);
+    t += evict_cost(victim, t);
     ++result.evictions;
   }
 
   // Stream ROM -> decompress -> config port, window by window.
-  const sim::SimTime begin = scheduler_.now();
+  const sim::SimTime begin = t;
   const ConfigureResult cfg = engine_.configure(
       rom_, *record, *frames, fabric_, config_.rom_timing, &trace_, begin);
-  scheduler_.advance(cfg.total);
+  t += cfg.total;
   stats_.frames_configured += cfg.frames_written;
   stats_.frames_skipped += cfg.frames_skipped;
   stats_.compressed_bytes_streamed += cfg.compressed_bytes;
@@ -205,17 +218,18 @@ LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
 
   FrameTableEntry entry;
   entry.frames = *frames;
-  entry.loaded_at = scheduler_.now();
-  entry.last_access = scheduler_.now();
+  entry.loaded_at = t;
+  entry.last_access = t;
   entry.access_count = 1;
   table_.emplace(id, std::move(entry));
 
-  policy_->on_load(id, scheduler_.now());
-  policy_->on_access(id, scheduler_.now());
+  policy_->on_load(id, t);
+  policy_->on_access(id, t);
 
-  firmware_delay(config_.command_overhead_cycles);
+  t += firmware_cost(config_.command_overhead_cycles, t);
   result.frames_configured = static_cast<unsigned>(cfg.frames_written);
-  result.reconfig_time = scheduler_.now() - begin;
+  result.reconfig_time = t - begin;
+  *elapsed = t - start;
   return result;
 }
 
@@ -229,14 +243,23 @@ netlist::LutExecutor& Mcu::executor_for(LoadedFunction& fn) {
   return *fn.executor;
 }
 
-InvokeResult Mcu::invoke(memory::FunctionId id, ByteSpan input) {
-  InvokeResult result;
+PreparedInvoke Mcu::prepare_invoke(memory::FunctionId id, sim::SimTime start) {
+  PreparedInvoke prep;
   ++stats_.invocations;
+  prep.firmware_time = firmware_cost(config_.command_overhead_cycles, start);
+  sim::SimTime load_elapsed;
+  prep.load = load_at(id, start + prep.firmware_time, &load_elapsed);
+  prep.time = prep.firmware_time + load_elapsed;
+  return prep;
+}
 
-  result.firmware_time += firmware_delay(config_.command_overhead_cycles);
-  result.load = ensure_loaded(id);
-
-  auto& fn = loaded_.at(id);
+ExecutedInvoke Mcu::execute_invoke(memory::FunctionId id, ByteSpan input,
+                                   sim::SimTime start) {
+  const auto it = loaded_.find(id);
+  AAD_CHECK(it != loaded_.end(), "execute_invoke on a non-resident function");
+  auto& fn = it->second;
+  ExecutedInvoke run;
+  sim::SimTime t = start;
 
   // Data-input module: host payload is already in local RAM (PCI layer);
   // stage it to the fabric.
@@ -244,12 +267,11 @@ InvokeResult Mcu::invoke(memory::FunctionId id, ByteSpan input) {
   const std::size_t in_off = ram_.allocate(input.size());
   ram_.write(in_off, input);
   {
-    const sim::SimTime begin = scheduler_.now();
     // The data-input module streams from RAM to the fabric as it reads.
-    scheduler_.advance(config_.ram_timing.access_time(input.size()));
-    trace_.record(sim::Stage::kDataIn, fn.record.name + "/in", begin,
-                  scheduler_.now());
-    result.io_time += scheduler_.now() - begin;
+    const sim::SimTime d = config_.ram_timing.access_time(input.size());
+    trace_.record(sim::Stage::kDataIn, fn.record.name + "/in", t, t + d);
+    t += d;
+    run.io_time += d;
   }
 
   // Execute.
@@ -269,26 +291,41 @@ InvokeResult Mcu::invoke(memory::FunctionId id, ByteSpan input) {
     hw.cycles = model.cycles(input.size());
   }
   {
-    const sim::SimTime begin = scheduler_.now();
-    scheduler_.advance(fabric_.execution_time(hw.cycles));
-    trace_.record(sim::Stage::kExecute, fn.record.name + "/exec", begin,
-                  scheduler_.now());
-    result.exec_time = scheduler_.now() - begin;
+    const sim::SimTime d = fabric_.execution_time(hw.cycles);
+    trace_.record(sim::Stage::kExecute, fn.record.name + "/exec", t, t + d);
+    t += d;
+    run.exec_time = d;
   }
-  result.exec_cycles = hw.cycles;
+  run.exec_cycles = hw.cycles;
 
   // Output-collection module: stage result through local RAM.
   const std::size_t out_off = ram_.allocate(hw.output.size());
   ram_.write(out_off, hw.output);
   {
-    const sim::SimTime begin = scheduler_.now();
-    scheduler_.advance(config_.ram_timing.access_time(hw.output.size()));
-    trace_.record(sim::Stage::kDataOut, fn.record.name + "/out", begin,
-                  scheduler_.now());
-    result.io_time += scheduler_.now() - begin;
+    const sim::SimTime d = config_.ram_timing.access_time(hw.output.size());
+    trace_.record(sim::Stage::kDataOut, fn.record.name + "/out", t, t + d);
+    t += d;
+    run.io_time += d;
   }
 
-  result.output = std::move(hw.output);
+  run.output = std::move(hw.output);
+  run.time = t - start;
+  return run;
+}
+
+InvokeResult Mcu::invoke(memory::FunctionId id, ByteSpan input) {
+  const sim::SimTime start = scheduler_.now();
+  const PreparedInvoke prep = prepare_invoke(id, start);
+  ExecutedInvoke run = execute_invoke(id, input, start + prep.time);
+  scheduler_.advance(prep.time + run.time);
+
+  InvokeResult result;
+  result.output = std::move(run.output);
+  result.load = prep.load;
+  result.exec_cycles = run.exec_cycles;
+  result.exec_time = run.exec_time;
+  result.io_time = run.io_time;
+  result.firmware_time = prep.firmware_time;
   result.total = result.firmware_time + result.load.reconfig_time +
                  result.exec_time + result.io_time;
   return result;

@@ -66,6 +66,23 @@ struct InvokeResult {
   sim::SimTime total;
 };
 
+/// Stage 1 of the staged invoke path: firmware command decode plus the
+/// on-demand load (§2.5), as if it began at a caller-chosen start time.
+struct PreparedInvoke {
+  LoadResult load;
+  sim::SimTime firmware_time;  ///< command decode
+  sim::SimTime time;           ///< firmware + evictions + reconfiguration
+};
+
+/// Stage 2: RAM staging in, fabric execution, output collection.
+struct ExecutedInvoke {
+  Bytes output;
+  std::int64_t exec_cycles = 0;
+  sim::SimTime exec_time;
+  sim::SimTime io_time;  ///< data-in + data-out staging
+  sim::SimTime time;     ///< io + exec total
+};
+
 struct McuStats {
   std::uint64_t invocations = 0;
   std::uint64_t config_hits = 0;
@@ -106,7 +123,26 @@ class Mcu {
 
   /// Execute `id` on `input`.  Loads on demand, stages data through local
   /// RAM, runs on the fabric, collects the output.  Advances simulated time.
+  /// (Synchronous compatibility shim over the staged path below.)
   InvokeResult invoke(memory::FunctionId id, ByteSpan input);
+
+  // --- the staged path (event-driven pipeline) -----------------------------
+  // The CoprocessorServer drives invocations as discrete events, so stages
+  // of different requests can overlap (request B's PCI transfer during
+  // request A's reconfiguration).  These methods mutate device state
+  // immediately — the caller has already reserved the device for a window
+  // beginning at `start` — but return simulated durations instead of
+  // advancing the scheduler; trace spans are stamped at `start`-relative
+  // virtual times.  Calls for the same request must be issued in order and
+  // back-to-back: execute_invoke at `start + prepare.time`.
+
+  /// Firmware command decode + ensure_loaded as of `start`.
+  PreparedInvoke prepare_invoke(memory::FunctionId id, sim::SimTime start);
+
+  /// Data-in, fabric execution, output collection as of `start`.
+  /// Requires `id` resident (prepare_invoke was called).
+  ExecutedInvoke execute_invoke(memory::FunctionId id, ByteSpan input,
+                                sim::SimTime start);
 
   /// Explicitly evict a resident function (host-directed swap-out).
   void evict(memory::FunctionId id);
@@ -143,8 +179,15 @@ class Mcu {
     std::unique_ptr<netlist::LutExecutor> executor;
   };
 
-  sim::SimTime firmware_delay(unsigned cycles);
-  void evict_locked(memory::FunctionId id);
+  // Duration-returning primitives shared by the synchronous shims and the
+  // staged path: mutate state, stamp trace spans at virtual times, never
+  // touch the scheduler.
+  sim::SimTime firmware_cost(unsigned cycles, sim::SimTime start);
+  sim::SimTime evict_cost(memory::FunctionId id, sim::SimTime start);
+  LoadResult load_at(memory::FunctionId id, sim::SimTime start,
+                     sim::SimTime* elapsed);
+  DefragResult defragment_at(sim::SimTime start);
+
   netlist::LutExecutor& executor_for(LoadedFunction& fn);
 
   fabric::Fabric& fabric_;

@@ -1,5 +1,7 @@
 #include "pci/pci.h"
 
+#include <algorithm>
+
 namespace aad::pci {
 
 PciBus::PciBus(const PciTiming& timing) : timing_(timing) {
@@ -58,6 +60,22 @@ sim::SimTime PciBus::dma_to_device(std::size_t bytes) {
   const auto t = dma_time(bytes);
   stats_.bus_time += t;
   return t;
+}
+
+BusGrant PciBus::acquire(sim::SimTime request_time, sim::SimTime duration) {
+  AAD_REQUIRE(duration >= sim::SimTime::zero(),
+              "transfer duration cannot be negative");
+  BusGrant grant;
+  grant.start = std::max(request_time, busy_until_);
+  grant.end = grant.start + duration;
+  grant.queue_delay = grant.start - request_time;
+  busy_until_ = grant.end;
+  ++stats_.grants;
+  if (grant.queue_delay > sim::SimTime::zero()) {
+    ++stats_.contended_grants;
+    stats_.queue_delay += grant.queue_delay;
+  }
+  return grant;
 }
 
 sim::SimTime PciBus::dma_from_device(std::size_t bytes) {

@@ -36,6 +36,17 @@ struct PciStats {
   std::uint64_t bytes_to_device = 0;
   std::uint64_t bytes_from_device = 0;
   sim::SimTime bus_time;
+  // Event-driven arbitration (acquire()) only:
+  std::uint64_t grants = 0;            ///< exclusive occupancy grants
+  std::uint64_t contended_grants = 0;  ///< grants that had to queue
+  sim::SimTime queue_delay;            ///< total time transfers waited
+};
+
+/// An exclusive occupancy window granted by the arbiter.
+struct BusGrant {
+  sim::SimTime start;        ///< when the transfer owns the bus (>= request)
+  sim::SimTime end;          ///< start + duration
+  sim::SimTime queue_delay;  ///< start - request time
 };
 
 /// Pure timing + accounting model; payload movement happens in the caller
@@ -65,11 +76,24 @@ class PciBus {
   /// Timing of a single-word non-burst transfer sequence of `bytes`.
   sim::SimTime programmed_io_time(std::size_t bytes) const noexcept;
 
+  // --- arbitration (event-driven path) --------------------------------------
+  // The bus is a single shared resource: concurrent transfers serialize.
+  // A transfer requested at `request_time` for `duration` is granted the
+  // first window at or after the request where the bus is free; the wait is
+  // the PCI arbiter's queuing delay and is accounted in stats().
+
+  BusGrant acquire(sim::SimTime request_time, sim::SimTime duration);
+  /// Earliest time a new transfer could start.
+  sim::SimTime busy_until() const noexcept { return busy_until_; }
+  /// Forget occupancy (device reset); stats are kept.
+  void release_all() noexcept { busy_until_ = sim::SimTime::zero(); }
+
  private:
   sim::SimTime single_word_time() const noexcept;
 
   PciTiming timing_;
   PciStats stats_;
+  sim::SimTime busy_until_;
 };
 
 }  // namespace aad::pci

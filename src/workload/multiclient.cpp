@@ -1,0 +1,66 @@
+#include "workload/multiclient.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace aad::workload {
+namespace {
+
+/// Exponential draw with the given mean (zero mean -> always zero).
+sim::SimTime exponential(Prng& rng, sim::SimTime mean) {
+  if (mean <= sim::SimTime::zero()) return sim::SimTime::zero();
+  const double u = rng.next_double();
+  const double scale = -std::log(1.0 - u);
+  return sim::SimTime::ps(static_cast<std::int64_t>(
+      static_cast<double>(mean.picoseconds()) * scale));
+}
+
+}  // namespace
+
+MultiClientTrace make_multi_client(const MultiClientConfig& config) {
+  AAD_REQUIRE(!config.functions.empty(),
+              "multi-client trace needs a function bank");
+  AAD_REQUIRE(config.clients >= 1, "need at least one client");
+  AAD_REQUIRE(config.requests_per_client >= 1,
+              "need at least one request per client");
+
+  MultiClientTrace trace;
+  trace.mode = config.mode;
+  trace.clients.resize(config.clients);
+
+  for (unsigned c = 0; c < config.clients; ++c) {
+    ClientTrace& ct = trace.clients[c];
+    ct.client = c;
+
+    // Reuse the single-stream generators for the function sequence so the
+    // popularity shapes match the replacement experiments exactly.
+    TraceConfig tc;
+    tc.functions = config.functions;
+    tc.length = config.requests_per_client;
+    tc.seed = config.seed * 1000003ull + c;
+    tc.payload_blocks = config.payload_blocks;
+    const Trace sequence = config.zipf_s > 0.0
+                               ? make_zipf(tc, config.zipf_s)
+                               : make_uniform(tc);
+
+    Prng arrivals(tc.seed ^ 0xA5A5A5A5A5A5A5A5ull);
+    sim::SimTime clock;  // open loop: running arrival time
+    ct.requests.reserve(sequence.size());
+    for (const Request& r : sequence) {
+      ClientRequest cr;
+      cr.function = r.function;
+      cr.payload_blocks = r.payload_blocks;
+      if (config.mode == ArrivalMode::kOpenLoop) {
+        clock += exponential(arrivals, config.mean_interarrival);
+        cr.offset = clock;
+      } else {
+        cr.offset = exponential(arrivals, config.mean_think_time);
+      }
+      ct.requests.push_back(cr);
+    }
+  }
+  return trace;
+}
+
+}  // namespace aad::workload

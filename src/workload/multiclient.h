@@ -1,0 +1,74 @@
+// Multi-client traffic for the event-driven CoprocessorServer.
+//
+// A MultiClientTrace is per-client request sequences plus arrival timing in
+// one of the two classic load-generation disciplines:
+//   * open loop   — each client's requests arrive at pre-drawn absolute
+//                   offsets (Poisson by default), regardless of how fast the
+//                   card serves them: the queue grows under overload;
+//   * closed loop — each client keeps at most one request outstanding and
+//                   submits the next one `offset` (think time) after the
+//                   previous completion: load self-limits to the card.
+//
+// Generation is pure data (deterministic in the seed); replay.h drives a
+// trace through a server.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.h"
+#include "sim/time.h"
+#include "workload/trace.h"
+
+namespace aad::workload {
+
+enum class ArrivalMode {
+  kOpenLoop,    ///< offsets are absolute arrival times from trace start
+  kClosedLoop,  ///< offsets are think times after the previous completion
+};
+
+struct ClientRequest {
+  FunctionId function = 0;
+  std::size_t payload_blocks = 1;
+  /// Open loop: arrival offset from trace start (non-decreasing per client).
+  /// Closed loop: think time between previous completion and this submit.
+  sim::SimTime offset;
+};
+
+struct ClientTrace {
+  unsigned client = 0;
+  std::vector<ClientRequest> requests;
+};
+
+struct MultiClientTrace {
+  ArrivalMode mode = ArrivalMode::kClosedLoop;
+  std::vector<ClientTrace> clients;
+
+  std::size_t total_requests() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : clients) n += c.requests.size();
+    return n;
+  }
+};
+
+struct MultiClientConfig {
+  unsigned clients = 4;
+  std::size_t requests_per_client = 32;
+  std::vector<FunctionId> functions;  ///< the bank every client draws from
+  std::uint64_t seed = 1;
+  std::size_t payload_blocks = 1;
+  ArrivalMode mode = ArrivalMode::kClosedLoop;
+  /// Function popularity skew: 0 = uniform, > 0 = Zipf(s) (clients share the
+  /// popularity ranking, which is what makes config hits possible at all).
+  double zipf_s = 0.0;
+  /// Open loop: mean of the exponential inter-arrival time per client.
+  sim::SimTime mean_interarrival = sim::SimTime::us(200);
+  /// Closed loop: mean of the exponential think time (zero = submit the
+  /// next request the instant the previous completes — saturation load).
+  sim::SimTime mean_think_time = sim::SimTime::zero();
+};
+
+/// Deterministic in `config.seed`; each client gets an independent stream.
+MultiClientTrace make_multi_client(const MultiClientConfig& config);
+
+}  // namespace aad::workload

@@ -1,0 +1,81 @@
+// Replays a MultiClientTrace through an event-driven server.
+//
+// Header-only template so the workload layer stays independent of core: any
+// server exposing the CoprocessorServer submission surface works —
+//
+//   submit_function_at(when, client, function, Bytes input, completion)
+//   now()
+//
+// where `completion` receives a record with a `complete_time` member.
+//
+// Open loop: every request is scheduled up front at its absolute arrival
+// offset.  Closed loop: each client primes one request; the completion hook
+// submits the next one after its think time, so at most one request per
+// client is ever outstanding.  After replay(), drive server.run() to
+// execute the trace.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "workload/multiclient.h"
+
+namespace aad::workload {
+
+namespace detail {
+
+template <typename Server, typename MakeInput>
+void submit_chain(Server& server,
+                  std::shared_ptr<const std::vector<ClientRequest>> requests,
+                  std::shared_ptr<std::size_t> next, unsigned client,
+                  sim::SimTime when, MakeInput make_input) {
+  const ClientRequest& r = (*requests)[*next];
+  const std::size_t index = (*next)++;
+  server.submit_function_at(
+      when, client, r.function, make_input(r.function, r.payload_blocks, index),
+      [&server, requests, next, client, make_input](const auto& done) {
+        if (*next < requests->size()) {
+          const sim::SimTime think = (*requests)[*next].offset;
+          submit_chain(server, requests, next, client,
+                       done.complete_time + think, make_input);
+        }
+      });
+}
+
+}  // namespace detail
+
+/// Prime `server` with `trace`.  `make_input(function, payload_blocks,
+/// index) -> Bytes` builds each request's payload.  Returns the number of
+/// requests submitted immediately (open loop: all of them; closed loop: one
+/// per client — the rest follow from completion hooks during run()).
+/// The server must outlive its run(); the trace may be discarded.
+template <typename Server, typename MakeInput>
+std::size_t replay(Server& server, const MultiClientTrace& trace,
+                   MakeInput make_input) {
+  std::size_t submitted = 0;
+  const sim::SimTime start = server.now();
+  for (const ClientTrace& ct : trace.clients) {
+    if (ct.requests.empty()) continue;
+    if (trace.mode == ArrivalMode::kOpenLoop) {
+      for (std::size_t i = 0; i < ct.requests.size(); ++i) {
+        const ClientRequest& r = ct.requests[i];
+        server.submit_function_at(
+            start + r.offset, ct.client, r.function,
+            make_input(r.function, r.payload_blocks, i), {});
+        ++submitted;
+      }
+    } else {
+      auto requests =
+          std::make_shared<const std::vector<ClientRequest>>(ct.requests);
+      auto next = std::make_shared<std::size_t>(0);
+      detail::submit_chain(server, std::move(requests), std::move(next),
+                           ct.client, start + ct.requests.front().offset,
+                           make_input);
+      ++submitted;
+    }
+  }
+  return submitted;
+}
+
+}  // namespace aad::workload

@@ -75,6 +75,35 @@ TEST(PciConfig, InvalidTimingRejected) {
   EXPECT_THROW(PciBus{zero_burst}, Error);
 }
 
+TEST(PciArbitration, ConcurrentTransfersSerializeWithQueueDelay) {
+  PciBus bus;
+  // First transfer starts immediately; an overlapping request queues until
+  // the bus frees, and the wait lands in stats().queue_delay.
+  const auto a = bus.acquire(sim::SimTime::us(1), sim::SimTime::us(10));
+  EXPECT_EQ(a.start, sim::SimTime::us(1));
+  EXPECT_EQ(a.end, sim::SimTime::us(11));
+  EXPECT_EQ(a.queue_delay, sim::SimTime::zero());
+
+  const auto b = bus.acquire(sim::SimTime::us(4), sim::SimTime::us(2));
+  EXPECT_EQ(b.start, sim::SimTime::us(11));
+  EXPECT_EQ(b.end, sim::SimTime::us(13));
+  EXPECT_EQ(b.queue_delay, sim::SimTime::us(7));
+  EXPECT_EQ(bus.busy_until(), sim::SimTime::us(13));
+
+  // A request after the bus went idle pays nothing.
+  const auto c = bus.acquire(sim::SimTime::us(20), sim::SimTime::us(1));
+  EXPECT_EQ(c.start, sim::SimTime::us(20));
+  EXPECT_EQ(c.queue_delay, sim::SimTime::zero());
+
+  EXPECT_EQ(bus.stats().grants, 3u);
+  EXPECT_EQ(bus.stats().contended_grants, 1u);
+  EXPECT_EQ(bus.stats().queue_delay, sim::SimTime::us(7));
+
+  bus.release_all();
+  EXPECT_EQ(bus.busy_until(), sim::SimTime::zero());
+  EXPECT_EQ(bus.stats().grants, 3u);  // stats survive the reset
+}
+
 TEST(PciConfig, WiderOrFasterBusIsFaster) {
   PciTiming pci64;
   pci64.bus_width_bits = 64;

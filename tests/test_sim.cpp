@@ -95,6 +95,60 @@ TEST(SchedulerTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(s.pending(), 1u);
 }
 
+TEST(SchedulerTest, FifoStableAmongEqualTimestampsFromDifferentPosters) {
+  // The staged pipeline posts events for many requests at the same instant
+  // (e.g. simultaneous arrivals); service order must be posting order even
+  // when the equal-timestamp events are interleaved with other times.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::ns(10), [&] { order.push_back(100); });
+  for (int i = 0; i < 4; ++i)
+    s.schedule_at(SimTime::ns(20), [&order, i] { order.push_back(i); });
+  s.schedule_at(SimTime::ns(15), [&] { order.push_back(101); });
+  // Events scheduled *from within* an event at an already-populated
+  // timestamp queue behind the earlier posters.
+  s.schedule_at(SimTime::ns(10), [&] {
+    s.schedule_at(SimTime::ns(20), [&] { order.push_back(4); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{100, 101, 0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, RunUntilAdvancesTimePastADrainedQueue) {
+  // run_until is also the server's "idle until the deadline" primitive: a
+  // queue that drains early must still leave now() at the deadline so later
+  // submissions anchor correctly.
+  Scheduler s;
+  s.schedule_at(SimTime::ns(5), [] {});
+  EXPECT_EQ(s.run_until(SimTime::ns(50)), 1u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.now(), SimTime::ns(50));
+  // And again with nothing queued at all.
+  EXPECT_EQ(s.run_until(SimTime::ns(80)), 0u);
+  EXPECT_EQ(s.now(), SimTime::ns(80));
+}
+
+TEST(SchedulerTest, ClearDuringARunningEventDropsTheRest) {
+  // Device reset fires from inside an event handler; everything already
+  // queued (same timestamp included) must vanish, and run() must stop.
+  Scheduler s;
+  int fired = 0;
+  s.schedule_at(SimTime::ns(5), [&] {
+    ++fired;
+    s.clear();
+  });
+  s.schedule_at(SimTime::ns(5), [&] { FAIL() << "cleared, must not run"; });
+  s.schedule_at(SimTime::ns(9), [&] { FAIL() << "cleared, must not run"; });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.now(), SimTime::ns(5));
+  // The scheduler stays usable after an in-flight clear.
+  s.schedule_at(SimTime::ns(12), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(SchedulerTest, ClearDropsPending) {
   Scheduler s;
   s.schedule_at(SimTime::ns(5), [] { FAIL() << "should have been cleared"; });

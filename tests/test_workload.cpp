@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.h"
+#include "workload/multiclient.h"
 #include "workload/trace.h"
 
 namespace aad::workload {
@@ -121,6 +122,98 @@ TEST(WorkloadTest, FunctionSequenceMatchesTrace) {
   ASSERT_EQ(seq.size(), trace.size());
   for (std::size_t i = 0; i < seq.size(); ++i)
     EXPECT_EQ(seq[i], trace[i].function);
+}
+
+MultiClientConfig multi_config() {
+  MultiClientConfig config;
+  config.clients = 4;
+  config.requests_per_client = 50;
+  config.functions = {1, 2, 3, 4, 5};
+  config.seed = 7;
+  return config;
+}
+
+TEST(MultiClientTest, ShapeAndDeterminism) {
+  const auto a = make_multi_client(multi_config());
+  const auto b = make_multi_client(multi_config());
+  ASSERT_EQ(a.clients.size(), 4u);
+  EXPECT_EQ(a.total_requests(), 200u);
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_EQ(a.clients[c].client, c);
+    ASSERT_EQ(a.clients[c].requests.size(), 50u);
+    for (std::size_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(a.clients[c].requests[i].function,
+                b.clients[c].requests[i].function);
+      EXPECT_EQ(a.clients[c].requests[i].offset,
+                b.clients[c].requests[i].offset);
+    }
+  }
+}
+
+TEST(MultiClientTest, ClientsDrawIndependentSequences) {
+  const auto trace = make_multi_client(multi_config());
+  const auto& c0 = trace.clients[0].requests;
+  const auto& c1 = trace.clients[1].requests;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < c0.size(); ++i)
+    if (c0[i].function == c1[i].function) ++same;
+  EXPECT_LT(same, c0.size());  // not the same stream replicated
+}
+
+TEST(MultiClientTest, OpenLoopOffsetsAreNonDecreasingArrivals) {
+  auto config = multi_config();
+  config.mode = ArrivalMode::kOpenLoop;
+  config.mean_interarrival = sim::SimTime::us(100);
+  const auto trace = make_multi_client(config);
+  double sum_us = 0.0;
+  std::size_t gaps = 0;
+  for (const auto& ct : trace.clients) {
+    for (std::size_t i = 1; i < ct.requests.size(); ++i) {
+      EXPECT_GE(ct.requests[i].offset, ct.requests[i - 1].offset);
+      sum_us += (ct.requests[i].offset - ct.requests[i - 1].offset)
+                    .microseconds();
+      ++gaps;
+    }
+  }
+  // Exponential with mean 100us: the empirical mean lands near it.
+  EXPECT_NEAR(sum_us / static_cast<double>(gaps), 100.0, 30.0);
+}
+
+TEST(MultiClientTest, ClosedLoopZeroThinkTimeIsSaturation) {
+  auto config = multi_config();
+  config.mode = ArrivalMode::kClosedLoop;
+  config.mean_think_time = sim::SimTime::zero();
+  const auto trace = make_multi_client(config);
+  for (const auto& ct : trace.clients)
+    for (const auto& r : ct.requests)
+      EXPECT_EQ(r.offset, sim::SimTime::zero());
+}
+
+TEST(MultiClientTest, SharedZipfSkewConcentratesPopularity) {
+  auto config = multi_config();
+  config.zipf_s = 1.5;
+  const auto trace = make_multi_client(config);
+  std::size_t rank1 = 0, total = 0;
+  for (const auto& ct : trace.clients)
+    for (const auto& r : ct.requests) {
+      if (r.function == config.functions.front()) ++rank1;
+      ++total;
+    }
+  // Rank 1 of a 5-function Zipf(1.5) carries ~45% of the mass; uniform
+  // would give 20%.
+  EXPECT_GT(static_cast<double>(rank1) / static_cast<double>(total), 0.3);
+}
+
+TEST(MultiClientTest, RejectsEmptyBankAndZeroClients) {
+  auto config = multi_config();
+  config.functions.clear();
+  EXPECT_THROW(make_multi_client(config), Error);
+  auto config2 = multi_config();
+  config2.clients = 0;
+  EXPECT_THROW(make_multi_client(config2), Error);
+  auto config3 = multi_config();
+  config3.requests_per_client = 0;
+  EXPECT_THROW(make_multi_client(config3), Error);
 }
 
 }  // namespace
