@@ -25,18 +25,7 @@ namespace {
 using namespace aad;
 using algorithms::KernelId;
 
-std::vector<workload::FunctionId> full_bank() {
-  std::vector<workload::FunctionId> bank;
-  for (const auto& spec : algorithms::catalog())
-    bank.push_back(algorithms::function_id(spec.id));
-  return bank;
-}
-
-Bytes request_input(workload::FunctionId fn, std::size_t blocks,
-                    std::size_t index) {
-  return algorithms::spec(static_cast<KernelId>(fn))
-      .make_input(blocks, 1000 + index);
-}
+using bench::request_input;
 
 core::ServerStats serve_trace(const workload::MultiClientTrace& trace,
                               core::AgileCoprocessor& card) {
@@ -61,7 +50,7 @@ void closed_loop_scaling() {
     workload::MultiClientConfig wc;
     wc.clients = clients;
     wc.requests_per_client = 96 / clients;  // same total work per row
-    wc.functions = full_bank();
+    wc.functions = algorithms::function_bank();
     wc.seed = 5;
     wc.zipf_s = 1.0;
     wc.payload_blocks = 4;
@@ -96,7 +85,7 @@ void pipeline_vs_synchronous() {
   workload::MultiClientConfig wc;
   wc.clients = 4;
   wc.requests_per_client = 24;
-  wc.functions = full_bank();
+  wc.functions = algorithms::function_bank();
   wc.seed = 11;
   wc.zipf_s = 1.0;
   wc.payload_blocks = 8;
@@ -183,7 +172,7 @@ void open_loop_sweep() {
     workload::MultiClientConfig wc;
     wc.clients = 4;
     wc.requests_per_client = 24;
-    wc.functions = full_bank();
+    wc.functions = algorithms::function_bank();
     wc.seed = 23;
     wc.zipf_s = 1.0;
     wc.payload_blocks = 4;
@@ -217,7 +206,7 @@ void BM_ServerSaturatedThroughput(benchmark::State& state) {
   workload::MultiClientConfig wc;
   wc.clients = 4;
   wc.requests_per_client = 8;
-  wc.functions = full_bank();
+  wc.functions = algorithms::function_bank();
   wc.seed = 3;
   wc.zipf_s = 1.0;
   wc.mode = workload::ArrivalMode::kClosedLoop;

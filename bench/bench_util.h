@@ -13,7 +13,17 @@
 #include <utility>
 #include <vector>
 
+#include "algorithms/kernels.h"
+
 namespace aad::bench {
+
+/// Canonical request payload for the trace-replay benches: the kernel's
+/// make_input seeded off the request index (workload::replay's MakeInput
+/// signature).
+inline Bytes request_input(std::uint32_t function, std::size_t blocks,
+                           std::size_t index) {
+  return algorithms::bank_input(function, blocks, 1000 + index);
+}
 
 /// Print a fixed-width table row.  Columns are pre-formatted strings.
 inline void print_row(const std::vector<std::string>& cells,

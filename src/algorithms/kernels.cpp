@@ -711,6 +711,18 @@ const KernelSpec& spec(KernelId id) {
   AAD_FAIL(ErrorCode::kNotFound, "unknown kernel id");
 }
 
+std::vector<std::uint32_t> function_bank() {
+  std::vector<std::uint32_t> bank;
+  bank.reserve(catalog().size());
+  for (const KernelSpec& s : catalog()) bank.push_back(function_id(s.id));
+  return bank;
+}
+
+Bytes bank_input(std::uint32_t function, std::size_t blocks,
+                 std::uint64_t seed) {
+  return spec(static_cast<KernelId>(function)).make_input(blocks, seed);
+}
+
 void register_runtimes(mcu::RuntimeRegistry& registry) {
   registry.register_netlist_driver(function_id(KernelId::kCrc32),
                                    crc32_driver);

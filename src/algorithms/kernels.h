@@ -82,6 +82,17 @@ constexpr std::uint32_t function_id(KernelId id) noexcept {
   return static_cast<std::uint32_t>(id);
 }
 
+/// Every catalog kernel's function id, in catalog order — the full bank
+/// that multi-client traces draw from.  Tests, benches and examples share
+/// this instead of each re-enumerating the catalog.
+std::vector<std::uint32_t> function_bank();
+
+/// Canonical request payload for a provisioned `function` id: the kernel's
+/// make_input under a caller-chosen seed.  The workload::replay companion —
+/// wrap it to mix a trace-local seed base with the request index.
+Bytes bank_input(std::uint32_t function, std::size_t blocks,
+                 std::uint64_t seed);
+
 /// Register every behavioral model and custom netlist driver.
 void register_runtimes(mcu::RuntimeRegistry& registry);
 

@@ -2,13 +2,24 @@
 
 namespace aad::core {
 
-AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config)
-    : fabric_(config.fabric),
+AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config,
+                                   std::unique_ptr<sim::Scheduler> owned,
+                                   sim::Scheduler* shared)
+    : owned_scheduler_(std::move(owned)),
+      scheduler_(shared != nullptr ? *shared : *owned_scheduler_),
+      fabric_(config.fabric),
       bus_(config.pci),
       mcu_(fabric_, scheduler_, trace_, runtime_, config.mcu) {
   trace_.set_enabled(config.trace_enabled);
   algorithms::register_runtimes(runtime_);
 }
+
+AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config)
+    : AgileCoprocessor(config, std::make_unique<sim::Scheduler>(), nullptr) {}
+
+AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config,
+                                   sim::Scheduler& scheduler)
+    : AgileCoprocessor(config, nullptr, &scheduler) {}
 
 sim::SimTime AgileCoprocessor::pci_command_overhead(unsigned registers) {
   sim::SimTime total = sim::SimTime::zero();

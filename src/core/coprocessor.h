@@ -18,6 +18,7 @@
 // trace() expose where the time went.
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "algorithms/kernels.h"
@@ -56,7 +57,17 @@ struct CoprocessorStats {
 
 class AgileCoprocessor {
  public:
+  /// A standalone card: owns its discrete-event scheduler.
   explicit AgileCoprocessor(const CoprocessorConfig& config = {});
+
+  /// A card driven by an external scheduler shared with other cards (the
+  /// CoprocessorFleet path): all cards see one simulated clock, so
+  /// cross-card overlap is simulated faithfully.  `scheduler` must outlive
+  /// the card.  Caution: the synchronous paths (invoke, preload, evict,
+  /// provisioning) advance the SHARED clock and execute any events pending
+  /// on it — only use them while the other owners of the scheduler are
+  /// quiescent (the fleet's download_* calls, benches between runs).
+  AgileCoprocessor(const CoprocessorConfig& config, sim::Scheduler& scheduler);
 
   // --- provisioning ---------------------------------------------------------
 
@@ -106,7 +117,12 @@ class AgileCoprocessor {
   pci::PciBus& bus() noexcept { return bus_; }
 
  private:
-  sim::Scheduler scheduler_;
+  AgileCoprocessor(const CoprocessorConfig& config,
+                   std::unique_ptr<sim::Scheduler> owned,
+                   sim::Scheduler* shared);
+
+  std::unique_ptr<sim::Scheduler> owned_scheduler_;  ///< null when shared
+  sim::Scheduler& scheduler_;
   sim::Trace trace_;
   fabric::Fabric fabric_;
   pci::PciBus bus_;

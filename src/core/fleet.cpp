@@ -1,0 +1,230 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aad::core {
+
+const char* to_string(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kLeastQueued:
+      return "least-queued";
+    case DispatchPolicy::kResidencyAffinity:
+      return "residency-affinity";
+  }
+  return "unknown";
+}
+
+CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
+    : policy_(config.policy) {
+  AAD_REQUIRE(config.cards >= 1, "a fleet needs at least one card");
+  shards_.reserve(config.cards);
+  for (unsigned i = 0; i < config.cards; ++i) {
+    Shard shard;
+    shard.card = std::make_unique<AgileCoprocessor>(config.card, scheduler_);
+    shard.server = std::make_unique<CoprocessorServer>(*shard.card);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void CoprocessorFleet::download(algorithms::KernelId kernel,
+                                std::optional<compress::CodecId> codec) {
+  for (Shard& shard : shards_) shard.card->download(kernel, codec);
+}
+
+void CoprocessorFleet::download_bitstream(
+    memory::FunctionId id, const bitstream::Bitstream& bitstream,
+    std::optional<compress::CodecId> codec) {
+  for (Shard& shard : shards_) shard.card->download_bitstream(id, bitstream, codec);
+}
+
+void CoprocessorFleet::download_all(std::optional<compress::CodecId> codec) {
+  for (Shard& shard : shards_) shard.card->download_all(codec);
+}
+
+std::uint64_t CoprocessorFleet::submit(unsigned client,
+                                       algorithms::KernelId kernel, Bytes input,
+                                       Completion done) {
+  return submit_function_at(now(), client, algorithms::function_id(kernel),
+                            std::move(input), std::move(done));
+}
+
+std::uint64_t CoprocessorFleet::submit_function(unsigned client,
+                                                memory::FunctionId function,
+                                                Bytes input, Completion done) {
+  return submit_function_at(now(), client, function, std::move(input),
+                            std::move(done));
+}
+
+std::uint64_t CoprocessorFleet::submit_function_at(sim::SimTime when,
+                                                   unsigned client,
+                                                   memory::FunctionId function,
+                                                   Bytes input,
+                                                   Completion done) {
+  AAD_REQUIRE(when >= now(), "cannot submit a request in the past");
+  const std::uint64_t ticket = next_ticket_++;
+  ++undispatched_;
+  // The card is chosen when the request ARRIVES, not now: pre-scheduled
+  // open-loop arrivals and closed-loop resubmissions alike get routed
+  // against the queue depths and residency of their arrival instant.
+  scheduler_.schedule_at(
+      when, [this, client, function, input = std::move(input),
+             done = std::move(done)]() mutable {
+        dispatch(client, function, std::move(input), std::move(done));
+      });
+  return ticket;
+}
+
+void CoprocessorFleet::dispatch(unsigned client, memory::FunctionId function,
+                                Bytes input, Completion done) {
+  --undispatched_;
+  Shard& shard = shards_[route(function)];
+  ++shard.dispatched;
+  shard.server->submit_function_at(now(), client, function, std::move(input),
+                                   std::move(done));
+}
+
+unsigned CoprocessorFleet::least_queued() const {
+  // Lowest card index among the minima keeps ties deterministic.
+  unsigned best = 0;
+  for (unsigned i = 1; i < card_count(); ++i)
+    if (shards_[i].server->in_flight() < shards_[best].server->in_flight())
+      best = i;
+  return best;
+}
+
+unsigned CoprocessorFleet::choose(memory::FunctionId function,
+                                  bool& affinity_hit) const {
+  affinity_hit = false;
+  switch (policy_) {
+    case DispatchPolicy::kRoundRobin:
+      return static_cast<unsigned>(rr_cursor_ % shards_.size());
+    case DispatchPolicy::kLeastQueued:
+      return least_queued();
+    case DispatchPolicy::kResidencyAffinity: {
+      // Among the cards already holding the configuration, take the least
+      // loaded (lowest index on ties).  A queued request ahead of us could
+      // still evict the function, but residency-at-arrival is the cheap,
+      // driver-visible signal — mispredictions just cost one reconfiguration.
+      bool found = false;
+      unsigned best = 0;
+      for (unsigned i = 0; i < card_count(); ++i) {
+        if (!shards_[i].card->mcu().is_resident(function)) continue;
+        if (!found ||
+            shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
+          best = i;
+          found = true;
+        }
+      }
+      affinity_hit = found;
+      return found ? best : least_queued();
+    }
+  }
+  return 0;
+}
+
+unsigned CoprocessorFleet::preview_card(memory::FunctionId function) const {
+  bool affinity_hit = false;
+  return choose(function, affinity_hit);
+}
+
+unsigned CoprocessorFleet::route(memory::FunctionId function) {
+  bool affinity_hit = false;
+  const unsigned card = choose(function, affinity_hit);
+  if (policy_ == DispatchPolicy::kRoundRobin) {
+    ++rr_cursor_;
+  } else if (policy_ == DispatchPolicy::kResidencyAffinity) {
+    affinity_hit ? ++affinity_routed_ : ++affinity_fallback_;
+  }
+  return card;
+}
+
+std::size_t CoprocessorFleet::run() { return scheduler_.run(); }
+
+std::size_t CoprocessorFleet::run_until(sim::SimTime deadline) {
+  return scheduler_.run_until(deadline);
+}
+
+AgileCoprocessor& CoprocessorFleet::card(unsigned index) {
+  AAD_REQUIRE(index < card_count(), "card index out of range");
+  return *shards_[index].card;
+}
+
+CoprocessorServer& CoprocessorFleet::server(unsigned index) {
+  AAD_REQUIRE(index < card_count(), "card index out of range");
+  return *shards_[index].server;
+}
+
+const CoprocessorServer& CoprocessorFleet::server(unsigned index) const {
+  AAD_REQUIRE(index < card_count(), "card index out of range");
+  return *shards_[index].server;
+}
+
+std::uint64_t CoprocessorFleet::in_flight() const {
+  // Sum live counts rather than subtracting completions from next_ticket_:
+  // requests submitted directly through a card's server (the servers are
+  // exposed) would otherwise underflow the difference.
+  std::uint64_t in_flight = undispatched_;
+  for (const Shard& shard : shards_) in_flight += shard.server->in_flight();
+  return in_flight;
+}
+
+FleetStats CoprocessorFleet::stats() const {
+  FleetStats stats;
+  stats.affinity_routed = affinity_routed_;
+  stats.affinity_fallback = affinity_fallback_;
+  stats.cards.reserve(shards_.size());
+
+  bool any = false;
+  std::uint64_t server_submitted = 0, dispatched = 0;
+  sim::SimTime first_submit, last_complete;
+  std::vector<sim::SimTime> latencies;
+  for (unsigned i = 0; i < card_count(); ++i) {
+    const Shard& shard = shards_[i];
+    FleetCardStats card;
+    card.card = i;
+    card.server = shard.server->stats();
+    card.dispatched = shard.dispatched;
+    card.queue_depth = shard.server->in_flight();
+    card.resident = shard.card->mcu().resident_count();
+    for (const ServerRequest& r : shard.server->completed()) {
+      r.load.hit ? ++card.config_hits : ++card.config_misses;
+      if (!any || r.submit_time < first_submit) first_submit = r.submit_time;
+      if (!any || r.complete_time > last_complete)
+        last_complete = r.complete_time;
+      any = true;
+      latencies.push_back(r.latency());
+    }
+    if (card.server.completed > 0)
+      card.hit_rate = static_cast<double>(card.config_hits) /
+                      static_cast<double>(card.server.completed);
+    server_submitted += card.server.submitted;
+    dispatched += card.dispatched;
+    stats.completed += card.server.completed;
+    stats.config_hits += card.config_hits;
+    stats.config_misses += card.config_misses;
+    stats.total_bus_wait += card.server.total_bus_wait;
+    stats.total_device_wait += card.server.total_device_wait;
+    stats.cards.push_back(std::move(card));
+  }
+
+  // Fleet tickets plus anything submitted directly through an exposed
+  // per-card server (its submitted count minus what we dispatched to it),
+  // so completed can never outrun submitted under mixed usage.
+  stats.submitted = next_ticket_ + (server_submitted - dispatched);
+  if (stats.completed > 0)
+    stats.hit_rate = static_cast<double>(stats.config_hits) /
+                     static_cast<double>(stats.completed);
+  if (any) {
+    stats.makespan = last_complete - first_submit;
+    if (stats.makespan > sim::SimTime::zero())
+      stats.throughput_rps =
+          static_cast<double>(stats.completed) / stats.makespan.seconds();
+  }
+  stats.latency = summarize_latencies(std::move(latencies));
+  return stats;
+}
+
+}  // namespace aad::core

@@ -1,0 +1,199 @@
+// CoprocessorFleet: N independent agile-coprocessor cards behind one
+// dispatch point.
+//
+// One CoprocessorServer pipelines one card, so a single fabric and one PCI
+// bus bound throughput.  The fleet shards the load: every card keeps its
+// own PCI bus, MCU and fabric (they really are separate PCI devices), but
+// all of them are driven by ONE shared discrete-event scheduler, so
+// cross-card overlap — four reconfigurations in flight at once, DMA on
+// four buses — is simulated faithfully on a single simulated clock.
+//
+//   host application
+//     └─ CoprocessorFleet ── dispatch policy (round-robin / least-queued /
+//         │                  residency-affinity)
+//         ├─ CoprocessorServer ── AgileCoprocessor   card 0 (own bus+fabric)
+//         ├─ CoprocessorServer ── AgileCoprocessor   card 1
+//         └─ ...                                     card N-1
+//
+// Dispatch is deferred to each request's ARRIVAL time, not its submission
+// time: an open-loop trace is pre-scheduled long before it runs, and only
+// at arrival does the policy see true queue depths and fabric residency.
+// The dispatch hop preserves FIFO order among same-timestamp arrivals; the
+// one observable difference from a bare CoprocessorServer is an arrival
+// whose timestamp exactly collides with an in-flight request's bus event
+// (integer-picosecond times make that vanishingly rare).
+// That is what makes residency-affinity meaningful — the paper's win is
+// skipping reconfiguration on a configuration hit, so the router steers a
+// request to a card whose MCU already holds the function's bitstream
+// configuration (falling back to least-queued when no card does), trading
+// load balance for configuration locality.
+//
+// Typical use:
+//
+//   aad::core::FleetConfig fc;
+//   fc.cards = 4;
+//   fc.policy = aad::core::DispatchPolicy::kResidencyAffinity;
+//   aad::core::CoprocessorFleet fleet(fc);
+//   fleet.download_all();                 // provision every card's ROM
+//   workload::replay(fleet, trace, make_input);   // same surface as a server
+//   fleet.run();
+//   auto st = fleet.stats();              // fleet-wide + per-card breakdown
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/server.h"
+
+namespace aad::core {
+
+/// How the fleet picks a card for an arriving request.
+enum class DispatchPolicy {
+  kRoundRobin,         ///< cards in cyclic order, ignoring state
+  kLeastQueued,        ///< fewest in-flight requests (ties: lowest card)
+  kResidencyAffinity,  ///< a card where the function is already configured
+                       ///< (ties: least-queued among them), else least-queued
+};
+
+const char* to_string(DispatchPolicy policy);
+
+struct FleetConfig {
+  unsigned cards = 2;
+  DispatchPolicy policy = DispatchPolicy::kResidencyAffinity;
+  /// Applied to every card — the fleet is homogeneous (heterogeneous
+  /// fleets are a later PR; the dispatch seam is already here).
+  CoprocessorConfig card;
+};
+
+/// One card's view of the fleet, captured by CoprocessorFleet::stats().
+struct FleetCardStats {
+  unsigned card = 0;
+  ServerStats server;            ///< this card's pipeline stats
+  std::uint64_t dispatched = 0;  ///< requests the policy routed here
+  std::uint64_t config_hits = 0;    ///< completed with the config resident
+  std::uint64_t config_misses = 0;  ///< completed after a reconfiguration
+  double hit_rate = 0.0;         ///< hits / completed
+  std::size_t queue_depth = 0;   ///< in-flight on this card right now
+  std::size_t resident = 0;      ///< functions on this card's fabric now
+};
+
+struct FleetStats {
+  /// Fleet tickets plus requests submitted directly to an exposed per-card
+  /// server; affinity_routed + affinity_fallback counts only the former.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  sim::SimTime makespan;          ///< first submission -> last completion
+  double throughput_rps = 0.0;    ///< completed per simulated second
+  LatencySummary latency;         ///< merged over every card's requests
+  std::uint64_t config_hits = 0;
+  std::uint64_t config_misses = 0;
+  double hit_rate = 0.0;          ///< fleet-wide configuration hit rate
+  sim::SimTime total_bus_wait;    ///< summed over all cards' buses
+  sim::SimTime total_device_wait;
+  /// Residency-affinity accounting (zero under the other policies):
+  std::uint64_t affinity_routed = 0;    ///< sent to a card holding the config
+  std::uint64_t affinity_fallback = 0;  ///< no card held it: least-queued
+  std::vector<FleetCardStats> cards;    ///< per-card breakdown, by index
+};
+
+class CoprocessorFleet {
+ public:
+  using Completion = CoprocessorServer::Completion;
+
+  explicit CoprocessorFleet(const FleetConfig& config = {});
+
+  // Every card's MCU pipeline holds a reference to scheduler_, so the
+  // fleet must stay put.
+  CoprocessorFleet(const CoprocessorFleet&) = delete;
+  CoprocessorFleet& operator=(const CoprocessorFleet&) = delete;
+  CoprocessorFleet(CoprocessorFleet&&) = delete;
+  CoprocessorFleet& operator=(CoprocessorFleet&&) = delete;
+
+  // --- provisioning --------------------------------------------------------
+  // Every card gets its own copy of the function (separate ROMs).  The
+  // downloads share the simulated clock, so card i+1's provisioning starts
+  // after card i's finishes — one host, one provisioning thread.
+
+  void download(algorithms::KernelId kernel,
+                std::optional<compress::CodecId> codec = std::nullopt);
+  void download_bitstream(memory::FunctionId id,
+                          const bitstream::Bitstream& bitstream,
+                          std::optional<compress::CodecId> codec = std::nullopt);
+  void download_all(std::optional<compress::CodecId> codec = std::nullopt);
+
+  // --- submission ----------------------------------------------------------
+  // Same surface as CoprocessorServer, so workload::replay drives a fleet
+  // unchanged.  The returned id is a fleet-wide ticket (dense submission
+  // order), NOT the per-card ServerRequest::id — the card is not chosen
+  // until the request arrives.
+
+  std::uint64_t submit(unsigned client, algorithms::KernelId kernel,
+                       Bytes input, Completion done = {});
+  std::uint64_t submit_function(unsigned client, memory::FunctionId function,
+                                Bytes input, Completion done = {});
+  std::uint64_t submit_function_at(sim::SimTime when, unsigned client,
+                                   memory::FunctionId function, Bytes input,
+                                   Completion done = {});
+
+  // --- event loop ----------------------------------------------------------
+
+  /// Run until every card is idle (closed-loop completions included).
+  std::size_t run();
+  /// Run events up to `deadline`; in-flight requests stay queued.
+  std::size_t run_until(sim::SimTime deadline);
+
+  // --- dispatch ------------------------------------------------------------
+
+  /// The card the policy would route `function` to right now, given current
+  /// queue depths and residency — the same decision an arriving request
+  /// gets, but WITHOUT advancing any dispatch state (round-robin cursor,
+  /// affinity counters), so it is safe to probe from tests and demos.
+  unsigned preview_card(memory::FunctionId function) const;
+
+  // --- introspection -------------------------------------------------------
+
+  sim::SimTime now() const noexcept { return scheduler_.now(); }
+  unsigned card_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  DispatchPolicy policy() const noexcept { return policy_; }
+  /// Direct access to one shard.  Inspection (mcu(), stats(), bus()) is
+  /// always safe; the card's SYNCHRONOUS paths (invoke, preload, evict,
+  /// defragment — and provisioning) advance the fleet-shared clock and
+  /// execute any pending events on it, so only use them while the fleet is
+  /// quiescent (no requests in flight), as download*/the benches do.
+  AgileCoprocessor& card(unsigned index);
+  CoprocessorServer& server(unsigned index);
+  const CoprocessorServer& server(unsigned index) const;
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  /// Submitted but not yet completed, fleet-wide (dispatched or not).
+  std::uint64_t in_flight() const;
+  /// Fleet-wide totals plus the per-card breakdown.
+  FleetStats stats() const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<AgileCoprocessor> card;
+    std::unique_ptr<CoprocessorServer> server;
+    std::uint64_t dispatched = 0;
+  };
+
+  unsigned least_queued() const;
+  unsigned choose(memory::FunctionId function, bool& affinity_hit) const;
+  /// preview_card + the state updates (cursor, affinity counters).
+  unsigned route(memory::FunctionId function);
+  void dispatch(unsigned client, memory::FunctionId function, Bytes input,
+                Completion done);
+
+  DispatchPolicy policy_;
+  sim::Scheduler scheduler_;
+  std::vector<Shard> shards_;
+  std::uint64_t next_ticket_ = 0;
+  std::uint64_t undispatched_ = 0;  ///< scheduled arrivals not yet routed
+  std::uint64_t rr_cursor_ = 0;
+  std::uint64_t affinity_routed_ = 0;
+  std::uint64_t affinity_fallback_ = 0;
+};
+
+}  // namespace aad::core

@@ -16,6 +16,22 @@ sim::SimTime percentile(const std::vector<sim::SimTime>& sorted, double q) {
 
 }  // namespace
 
+LatencySummary summarize_latencies(std::vector<sim::SimTime> latencies) {
+  LatencySummary summary{};
+  if (latencies.empty()) return summary;
+  std::sort(latencies.begin(), latencies.end());
+  sim::SimTime sum;
+  for (const sim::SimTime t : latencies) sum += t;
+  summary.min = latencies.front();
+  summary.max = latencies.back();
+  summary.mean = sim::SimTime::ps(
+      sum.picoseconds() / static_cast<std::int64_t>(latencies.size()));
+  summary.p50 = percentile(latencies, 0.50);
+  summary.p90 = percentile(latencies, 0.90);
+  summary.p99 = percentile(latencies, 0.99);
+  return summary;
+}
+
 CoprocessorServer::CoprocessorServer(AgileCoprocessor& card) : card_(card) {}
 
 CoprocessorServer::Pending& CoprocessorServer::pending(std::uint64_t id) {
@@ -143,30 +159,20 @@ ServerStats CoprocessorServer::stats() const {
 
   sim::SimTime first_submit = completed_.front().submit_time;
   sim::SimTime last_complete = completed_.front().complete_time;
-  sim::SimTime sum;
   std::vector<sim::SimTime> latencies;
   latencies.reserve(completed_.size());
   for (const ServerRequest& r : completed_) {
     first_submit = std::min(first_submit, r.submit_time);
     last_complete = std::max(last_complete, r.complete_time);
     latencies.push_back(r.latency());
-    sum += r.latency();
     stats.total_bus_wait += r.bus_wait;
     stats.total_device_wait += r.device_wait;
   }
-  std::sort(latencies.begin(), latencies.end());
-
   stats.makespan = last_complete - first_submit;
   if (stats.makespan > sim::SimTime::zero())
     stats.throughput_rps =
         static_cast<double>(completed_.size()) / stats.makespan.seconds();
-  stats.latency.min = latencies.front();
-  stats.latency.max = latencies.back();
-  stats.latency.mean = sim::SimTime::ps(
-      sum.picoseconds() / static_cast<std::int64_t>(latencies.size()));
-  stats.latency.p50 = percentile(latencies, 0.50);
-  stats.latency.p90 = percentile(latencies, 0.90);
-  stats.latency.p99 = percentile(latencies, 0.99);
+  stats.latency = summarize_latencies(std::move(latencies));
   return stats;
 }
 

@@ -15,8 +15,9 @@
 // request A's reconfiguration or execution, and back-to-back requests for a
 // resident function pipeline: the card computes while the bus streams the
 // next payload.  stats() reports per-request latency percentiles and
-// throughput; every future scaling PR (sharding, multi-fabric, preemption)
-// slots into this pipeline.
+// throughput.  One server pipelines one card; core::CoprocessorFleet
+// (fleet.h) shards N of these pipelines behind a dispatch policy, and every
+// further scaling PR (preemption, heterogeneous cards) slots in there.
 //
 // Typical use:
 //
@@ -67,6 +68,11 @@ struct LatencySummary {
   sim::SimTime min, mean, p50, p90, p99, max;
 };
 
+/// Nearest-rank percentile summary of a latency sample (sorted in place).
+/// Shared by CoprocessorServer::stats() and the fleet-wide aggregation in
+/// CoprocessorFleet::stats(); zeroes on an empty sample.
+LatencySummary summarize_latencies(std::vector<sim::SimTime> latencies);
+
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -115,7 +121,10 @@ class CoprocessorServer {
   const std::vector<ServerRequest>& completed() const noexcept {
     return completed_;
   }
-  /// Latency percentiles, throughput and queueing totals so far.
+  /// Latency percentiles, throughput and queueing totals over the requests
+  /// completed so far (in_flight() requests are not included).  When the
+  /// server runs as one shard of a CoprocessorFleet, these are the per-card
+  /// numbers; CoprocessorFleet::stats() merges them fleet-wide.
   ServerStats stats() const;
   AgileCoprocessor& card() noexcept { return card_; }
 

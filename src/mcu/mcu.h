@@ -156,9 +156,14 @@ class Mcu {
   void reset_fabric();
 
   // --- inspection ----------------------------------------------------------
+  // is_resident / resident_count are O(log n) / O(1) map probes with no
+  // simulated-time cost: the fleet's residency-affinity dispatch polls them
+  // on every routing decision, mirroring a host driver that mirrors the
+  // card's resident set from completion records.
   bool is_resident(memory::FunctionId id) const {
     return loaded_.contains(id);
   }
+  std::size_t resident_count() const noexcept { return loaded_.size(); }
   std::vector<memory::FunctionId> resident_functions() const;
   const FrameReplacementTable& frame_table() const noexcept { return table_; }
   const FreeFrameList& free_frames() const noexcept { return free_list_; }

@@ -1,7 +1,9 @@
 // Replays a MultiClientTrace through an event-driven server.
 //
 // Header-only template so the workload layer stays independent of core: any
-// server exposing the CoprocessorServer submission surface works —
+// server exposing the CoprocessorServer submission surface works — a single
+// card's core::CoprocessorServer and the sharded core::CoprocessorFleet are
+// driven interchangeably —
 //
 //   submit_function_at(when, client, function, Bytes input, completion)
 //   now()
