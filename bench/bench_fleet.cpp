@@ -11,7 +11,9 @@
 //   F2 — dispatch-policy shoot-out at 4 cards on a Zipf-skewed trace,
 //   F3 — policy hit rates across workload skew (uniform -> heavily skewed).
 //
-// `--json results.json` captures the headline metrics machine-readably.
+// Flags (bench_util.h parser): `--json results.json` captures the headline
+// metrics machine-readably; `--cards N` caps the F1 scaling sweep
+// (default 8).
 #include "bench_util.h"
 
 #include <vector>
@@ -64,8 +66,11 @@ void card_scaling() {
   bench::print_rule(widths);
 
   const auto trace = saturation_trace(1.1, 7);
+  const auto max_cards =
+      static_cast<unsigned>(bench::flags().get_int("cards", 8));
   double base_rps = 0.0;
   for (unsigned cards : {1u, 2u, 4u, 8u}) {
+    if (cards > max_cards) continue;
     const auto stats =
         run_fleet(cards, core::DispatchPolicy::kResidencyAffinity, trace);
     if (cards == 1) base_rps = stats.throughput_rps;

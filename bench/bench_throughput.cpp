@@ -10,7 +10,9 @@
 //   T2 — event-driven pipeline vs the synchronous path on one workload,
 //   T3 — open-loop Poisson load sweep (tail latency vs offered load).
 //
-// `--json results.json` captures the headline metrics machine-readably.
+// Flags (bench_util.h parser): `--json results.json` captures the headline
+// metrics machine-readably; `--clients N` caps the T1 scaling sweep
+// (default 8).
 #include "bench_util.h"
 
 #include <algorithm>
@@ -46,7 +48,10 @@ void closed_loop_scaling() {
                    widths);
   bench::print_rule(widths);
 
+  const auto max_clients =
+      static_cast<unsigned>(bench::flags().get_int("clients", 8));
   for (unsigned clients : {1u, 2u, 4u, 8u}) {
+    if (clients > max_clients) continue;
     workload::MultiClientConfig wc;
     wc.clients = clients;
     wc.requests_per_client = 96 / clients;  // same total work per row

@@ -1,14 +1,18 @@
 // Shared helpers for the experiment benches: table printing, a JSON results
 // emitter (`--json <path>` captures the deterministic numbers for the perf
-// trajectory across PRs), and a common main() that first emits the
-// experiment's deterministic result table (the "paper row" regeneration)
-// and then runs the google-benchmark wall-clock measurements.
+// trajectory across PRs), a shared `--flag value` parser, and a common
+// main() that first emits the experiment's deterministic result table (the
+// "paper row" regeneration) and then runs the google-benchmark wall-clock
+// measurements.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -127,6 +131,130 @@ inline JsonResults& json() {
   return results;
 }
 
+/// Shared command-line flags for the experiment benches.
+///
+/// The common main() strips every `--name value` / `--name=value` pair
+/// whose name does not belong to google-benchmark (`--benchmark_*`,
+/// `--help`, `--v`) before ::benchmark::Initialize sees the arguments, and
+/// a bench's run_experiment() reads them with typed accessors and
+/// defaults:
+///
+///   const long cards = aad::bench::flags().get_int("cards", 8);
+///   const std::string policy = aad::bench::flags().get("policy", "all");
+///   if (aad::bench::flags().get_bool("overlap", true)) ...
+///
+/// Unset flags fall back to the default, so a bare invocation regenerates
+/// the documented tables; `--json <path>` rides the same mechanism.
+class Flags {
+ public:
+  /// Strip our flags out of argv (in place); returns the new argc, or -1
+  /// after printing a diagnostic when a flag is missing its value.
+  int parse(int argc, char** argv) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0 || is_benchmark_flag(arg)) {
+        argv[kept++] = argv[i];
+        continue;
+      }
+      std::string name = arg.substr(2);
+      std::string value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      } else {
+        // A following "--something" is the next flag, not this one's value.
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+          std::fprintf(stderr, "--%s requires a value argument\n",
+                       name.c_str());
+          return -1;
+        }
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+    return kept;
+  }
+
+  bool has(const std::string& name) const {
+    consumed_.insert(name);
+    return values_.contains(name);
+  }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  long get_int(const std::string& name, long fallback) const {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+      die_bad_value(name, it->second, "an integer");
+    return value;
+  }
+
+  double get_double(const std::string& name, double fallback) const {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+      die_bad_value(name, it->second, "a number");
+    return value;
+  }
+
+  /// Accepts on/off, true/false, yes/no, 1/0; anything else is fatal.
+  bool get_bool(const std::string& name, bool fallback) const {
+    consumed_.insert(name);
+    const auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    if (v == "on" || v == "true" || v == "yes" || v == "1") return true;
+    if (v == "off" || v == "false" || v == "no" || v == "0") return false;
+    die_bad_value(name, v, "on/off");
+  }
+
+  /// Flags that were passed but never read by this bench — almost always a
+  /// typo (`--client` for `--clients`).  The shared main() turns any
+  /// leftovers into a hard error so misspellings cannot silently run the
+  /// default tables under a mislabeled configuration.
+  std::vector<std::string> unread() const {
+    std::vector<std::string> out;
+    for (const auto& [name, value] : values_)
+      if (!consumed_.contains(name)) out.push_back(name);
+    return out;
+  }
+
+ private:
+  static bool is_benchmark_flag(const std::string& arg) {
+    return arg.rfind("--benchmark", 0) == 0 || arg == "--help" ||
+           arg.rfind("--v=", 0) == 0 || arg == "--v";
+  }
+
+  [[noreturn]] static void die_bad_value(const std::string& name,
+                                         const std::string& value,
+                                         const char* expected) {
+    std::fprintf(stderr, "--%s expects %s, got \"%s\"\n", name.c_str(),
+                 expected, value.c_str());
+    std::exit(2);
+  }
+
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;  ///< names the bench looked up
+};
+
+/// The process-wide flag registry, filled by the shared main().
+inline Flags& flags() {
+  static Flags instance;
+  return instance;
+}
+
 }  // namespace aad::bench
 
 /// Each bench defines this: prints its experiment table(s) and records
@@ -134,25 +262,26 @@ inline JsonResults& json() {
 void run_experiment();
 
 int main(int argc, char** argv) {
-  // Strip our `--json <path>` flag before google-benchmark sees the args.
-  const char* json_path = nullptr;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json requires a path argument\n");
-        return 2;
-      }
-      json_path = argv[++i];
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
+  // Strip every bench flag (including `--json <path>`) before
+  // google-benchmark sees the args.
+  argc = aad::bench::flags().parse(argc, argv);
+  if (argc < 0) return 2;
 
+  const std::string json_path = aad::bench::flags().get("json", "");
   run_experiment();
-  if (json_path && !aad::bench::json().write(json_path)) {
-    std::fprintf(stderr, "failed to write JSON results to %s\n", json_path);
+  // Surface typo'd flags BEFORE writing the artifact: a bench that ran
+  // under a default configuration because `--client` was misspelled must
+  // not leave a plausible-looking results file behind.
+  bool unknown = false;
+  for (const std::string& name : aad::bench::flags().unread()) {
+    std::fprintf(stderr, "unknown flag --%s (this bench never read it)\n",
+                 name.c_str());
+    unknown = true;
+  }
+  if (unknown) return 2;
+  if (!json_path.empty() && !aad::bench::json().write(json_path.c_str())) {
+    std::fprintf(stderr, "failed to write JSON results to %s\n",
+                 json_path.c_str());
     return 1;
   }
   ::benchmark::Initialize(&argc, argv);

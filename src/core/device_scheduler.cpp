@@ -1,0 +1,70 @@
+#include "core/device_scheduler.h"
+
+#include "common/error.h"
+
+namespace aad::core {
+namespace {
+
+class FifoScheduler final : public DeviceScheduler {
+ public:
+  DevicePolicy kind() const noexcept override { return DevicePolicy::kFifo; }
+  std::size_t pick(std::span<const DeviceQueueEntry> queue) override {
+    AAD_CHECK(!queue.empty(), "picking from an empty device queue");
+    return 0;  // the queue is kept in data-arrival order
+  }
+};
+
+class ResidentFirstScheduler final : public DeviceScheduler {
+ public:
+  DevicePolicy kind() const noexcept override {
+    return DevicePolicy::kResidentFirst;
+  }
+  std::size_t pick(std::span<const DeviceQueueEntry> queue) override {
+    AAD_CHECK(!queue.empty(), "picking from an empty device queue");
+    for (std::size_t i = 0; i < queue.size(); ++i)
+      if (queue[i].resident) return i;
+    return 0;  // all misses: oldest first
+  }
+};
+
+class ShortestReconfigFirstScheduler final : public DeviceScheduler {
+ public:
+  DevicePolicy kind() const noexcept override {
+    return DevicePolicy::kShortestReconfigFirst;
+  }
+  std::size_t pick(std::span<const DeviceQueueEntry> queue) override {
+    AAD_CHECK(!queue.empty(), "picking from an empty device queue");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i)
+      if (queue[i].reconfig_frames < queue[best].reconfig_frames) best = i;
+    return best;  // strict < keeps ties on the earliest arrival
+  }
+};
+
+}  // namespace
+
+const char* to_string(DevicePolicy policy) {
+  switch (policy) {
+    case DevicePolicy::kFifo:
+      return "fifo";
+    case DevicePolicy::kResidentFirst:
+      return "resident-first";
+    case DevicePolicy::kShortestReconfigFirst:
+      return "shortest-reconfig-first";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<DeviceScheduler> make_device_scheduler(DevicePolicy policy) {
+  switch (policy) {
+    case DevicePolicy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case DevicePolicy::kResidentFirst:
+      return std::make_unique<ResidentFirstScheduler>();
+    case DevicePolicy::kShortestReconfigFirst:
+      return std::make_unique<ShortestReconfigFirstScheduler>();
+  }
+  AAD_FAIL(ErrorCode::kInvalidArgument, "unknown device policy");
+}
+
+}  // namespace aad::core

@@ -1,0 +1,68 @@
+// DeviceScheduler: the pluggable policy that orders the device-ready queue
+// of one card's CoprocessorServer.
+//
+// The server's device stage is two independently-arbitrated resources — the
+// configuration engine (firmware decode + on-demand load) and the fabric
+// (RAM staging + execution).  Whenever the engine frees up and requests are
+// waiting with their input DMA complete, the scheduler picks which one is
+// served next.  FIFO is the bit-exact baseline (data-arrival order, exactly
+// the pre-split server); the reordering policies trade arrival fairness for
+// configuration locality:
+//
+//   * resident-first — serve a request whose function is already configured
+//     before any request that needs a reconfiguration: hits cost only the
+//     firmware decode, so letting them jump the queue keeps the fabric fed
+//     while the misses' reconfigurations are batched behind them;
+//   * shortest-reconfiguration-first — SJF on the reconfiguration estimate
+//     (resident = 0, miss = the function's ROM frame footprint): minimizes
+//     mean engine occupancy ahead of any given request.
+//
+// Both reordering policies are deliberately simple and can starve a cold
+// request under a steady stream of resident traffic (classic SJF
+// starvation); they are makespan/throughput policies, not fairness
+// policies.  A deadline- or age-bounded variant slots into the same
+// interface.  Policies are picked per server via ServerConfig and compose
+// with the fleet's dispatch policies (core::CoprocessorFleet).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "memory/rom.h"
+#include "sim/time.h"
+
+namespace aad::core {
+
+/// How a CoprocessorServer orders its device-ready queue.
+enum class DevicePolicy : std::uint8_t {
+  kFifo,                    ///< data-arrival order (bit-exact baseline)
+  kResidentFirst,           ///< configuration hits jump the queue
+  kShortestReconfigFirst,   ///< smallest reconfiguration estimate first
+};
+
+const char* to_string(DevicePolicy policy);
+
+/// One ready request, as the policy sees it.  `resident` and
+/// `reconfig_frames` are refreshed at pick time, so the policy always
+/// decides against the card's current configuration state.
+struct DeviceQueueEntry {
+  std::uint64_t id = 0;              ///< ServerRequest id
+  memory::FunctionId function = 0;
+  sim::SimTime ready;                ///< input DMA completed (arrival order)
+  bool resident = false;             ///< configuration currently on the fabric
+  unsigned reconfig_frames = 0;      ///< 0 when resident; ROM footprint else
+};
+
+class DeviceScheduler {
+ public:
+  virtual ~DeviceScheduler() = default;
+  virtual DevicePolicy kind() const noexcept = 0;
+  /// Index into `queue` (never empty, arrival order) of the request to
+  /// serve next.  Must be deterministic; ties break to the earliest entry.
+  virtual std::size_t pick(std::span<const DeviceQueueEntry> queue) = 0;
+};
+
+std::unique_ptr<DeviceScheduler> make_device_scheduler(DevicePolicy policy);
+
+}  // namespace aad::core

@@ -24,7 +24,8 @@ CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
   for (unsigned i = 0; i < config.cards; ++i) {
     Shard shard;
     shard.card = std::make_unique<AgileCoprocessor>(config.card, scheduler_);
-    shard.server = std::make_unique<CoprocessorServer>(*shard.card);
+    shard.server =
+        std::make_unique<CoprocessorServer>(*shard.card, config.server);
     shards_.push_back(std::move(shard));
   }
 }
@@ -104,14 +105,18 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
     case DispatchPolicy::kLeastQueued:
       return least_queued();
     case DispatchPolicy::kResidencyAffinity: {
-      // Among the cards already holding the configuration, take the least
-      // loaded (lowest index on ties).  A queued request ahead of us could
-      // still evict the function, but residency-at-arrival is the cheap,
-      // driver-visible signal — mispredictions just cost one reconfiguration.
+      // Among the cards already holding the configuration — or with an
+      // in-flight request about to load it (function_inbound) — take the
+      // least loaded (lowest index on ties).  A queued request ahead of us
+      // could still evict the function, but residency-at-arrival is the
+      // cheap, driver-visible signal — mispredictions just cost one
+      // reconfiguration.
       bool found = false;
       unsigned best = 0;
       for (unsigned i = 0; i < card_count(); ++i) {
-        if (!shards_[i].card->mcu().is_resident(function)) continue;
+        if (!shards_[i].card->mcu().is_resident(function) &&
+            !shards_[i].server->function_inbound(function))
+          continue;
         if (!found ||
             shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
           best = i;
@@ -207,6 +212,10 @@ FleetStats CoprocessorFleet::stats() const {
     stats.config_misses += card.config_misses;
     stats.total_bus_wait += card.server.total_bus_wait;
     stats.total_device_wait += card.server.total_device_wait;
+    stats.total_engine_wait += card.server.total_engine_wait;
+    stats.total_fabric_wait += card.server.total_fabric_wait;
+    stats.total_hidden_reconfig += card.server.total_hidden_reconfig;
+    stats.overlapped_loads += card.server.overlapped_loads;
     stats.cards.push_back(std::move(card));
   }
 

@@ -53,7 +53,8 @@ enum class DispatchPolicy {
   kRoundRobin,         ///< cards in cyclic order, ignoring state
   kLeastQueued,        ///< fewest in-flight requests (ties: lowest card)
   kResidencyAffinity,  ///< a card where the function is already configured
-                       ///< (ties: least-queued among them), else least-queued
+                       ///< or inbound on an in-flight request (ties:
+                       ///< least-queued among them), else least-queued
 };
 
 const char* to_string(DispatchPolicy policy);
@@ -64,6 +65,11 @@ struct FleetConfig {
   /// Applied to every card — the fleet is homogeneous (heterogeneous
   /// fleets are a later PR; the dispatch seam is already here).
   CoprocessorConfig card;
+  /// Per-card pipeline knobs: device-queue policy (FIFO / resident-first /
+  /// shortest-reconfiguration-first) and overlapped reconfiguration.  The
+  /// fleet dispatch policy and the device policy compose: dispatch picks
+  /// the card, the device scheduler orders that card's ready queue.
+  ServerConfig server;
 };
 
 /// One card's view of the fleet, captured by CoprocessorFleet::stats().
@@ -90,10 +96,16 @@ struct FleetStats {
   std::uint64_t config_misses = 0;
   double hit_rate = 0.0;          ///< fleet-wide configuration hit rate
   sim::SimTime total_bus_wait;    ///< summed over all cards' buses
-  sim::SimTime total_device_wait;
+  sim::SimTime total_device_wait; ///< engine + fabric wait, fleet-wide
+  sim::SimTime total_engine_wait;
+  sim::SimTime total_fabric_wait;
+  sim::SimTime total_hidden_reconfig;  ///< reconfig overlapped with execution
+  std::uint64_t overlapped_loads = 0;
   /// Residency-affinity accounting (zero under the other policies):
   std::uint64_t affinity_routed = 0;    ///< sent to a card holding the config
-  std::uint64_t affinity_fallback = 0;  ///< no card held it: least-queued
+                                        ///< (resident, or inbound in flight)
+  std::uint64_t affinity_fallback = 0;  ///< no card held or was loading it:
+                                        ///< least-queued
   std::vector<FleetCardStats> cards;    ///< per-card breakdown, by index
 };
 

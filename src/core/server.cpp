@@ -7,12 +7,34 @@ namespace {
 
 sim::SimTime percentile(const std::vector<sim::SimTime>& sorted, double q) {
   if (sorted.empty()) return sim::SimTime::zero();
-  // Nearest-rank: the smallest value with at least q of the mass below it.
+  // Nearest-rank: the smallest value with at least q of the mass below it,
+  // sorted[ceil(q*n) - 1].  The +0.999999 turns the truncation into a
+  // ceiling for any q*n that is not already (within 1e-6 of) an integer,
+  // so e.g. p50 of 10 samples is rank 5 and p99 of 10 samples is rank 10
+  // (the max — every percentile above 1 - 1/n collapses to the max).
   const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(q * n + 0.999999);
   rank = std::clamp<std::size_t>(rank, 1, sorted.size());
   return sorted[rank - 1];
 }
+
+/// Unpins on scope exit, so a throwing load cannot leak pins.
+class PinGuard {
+ public:
+  PinGuard(mcu::Mcu& mcu, std::vector<memory::FunctionId> pins)
+      : mcu_(mcu), pins_(std::move(pins)) {
+    for (const memory::FunctionId fn : pins_) mcu_.pin(fn);
+  }
+  ~PinGuard() {
+    for (const memory::FunctionId fn : pins_) mcu_.unpin(fn);
+  }
+  PinGuard(const PinGuard&) = delete;
+  PinGuard& operator=(const PinGuard&) = delete;
+
+ private:
+  mcu::Mcu& mcu_;
+  std::vector<memory::FunctionId> pins_;
+};
 
 }  // namespace
 
@@ -32,7 +54,11 @@ LatencySummary summarize_latencies(std::vector<sim::SimTime> latencies) {
   return summary;
 }
 
-CoprocessorServer::CoprocessorServer(AgileCoprocessor& card) : card_(card) {}
+CoprocessorServer::CoprocessorServer(AgileCoprocessor& card,
+                                     const ServerConfig& config)
+    : card_(card),
+      config_(config),
+      device_scheduler_(make_device_scheduler(config.device_policy)) {}
 
 CoprocessorServer::Pending& CoprocessorServer::pending(std::uint64_t id) {
   const auto it = queue_.find(id);
@@ -69,6 +95,7 @@ std::uint64_t CoprocessorServer::submit_function_at(sim::SimTime when,
   p.input = std::move(input);
   p.done = std::move(done);
   queue_.emplace(id, std::move(p));
+  ++inbound_[function];
   ++in_flight_;
   ++submitted_;
   card_.scheduler().schedule_at(when, [this, id] { begin_pci_in(id); });
@@ -89,34 +116,156 @@ void CoprocessorServer::begin_pci_in(std::uint64_t id) {
   p.request.bus_wait += grant.queue_delay;
   card_.trace().record(sim::Stage::kHostPci, "server/in", grant.start,
                        grant.end);
-  card_.scheduler().schedule_at(grant.end, [this, id] { begin_device(id); });
+  card_.scheduler().schedule_at(grant.end, [this, id] { device_ready(id); });
 }
 
-void CoprocessorServer::begin_device(std::uint64_t id) {
+void CoprocessorServer::device_ready(std::uint64_t id) {
+  pending(id).request.device_ready = now();
+  device_queue_.push_back(id);
+  pump_device();
+}
+
+void CoprocessorServer::schedule_pump(sim::SimTime when) {
+  if (pump_wake_ && *pump_wake_ <= when) return;  // already covered
+  pump_wake_ = when;
+  card_.scheduler().schedule_at(when, [this, when] {
+    if (pump_wake_ == when) pump_wake_.reset();
+    // A superseded (later) wake-up still fires; pump_device just finds the
+    // queue empty or the device busy and re-arms as needed.
+    pump_device();
+  });
+}
+
+void CoprocessorServer::pump_device() {
+  if (device_queue_.empty()) return;
+  if (now() < device_available()) {
+    // The device is planned busy; one wake-up at its next-start instant
+    // serves the whole queue (each commit reschedules the next).  Waiting
+    // until then — rather than committing windows into the future — is
+    // what lets the DeviceScheduler reorder everything still queued.
+    schedule_pump(device_available());
+    return;
+  }
+
+  std::size_t choice = 0;  // FIFO: the queue is already in arrival order
+  if (device_scheduler_->kind() != DevicePolicy::kFifo) {
+    // The policy decides against the card's configuration state right now
+    // — residency at pick time, not at arrival time.
+    std::vector<DeviceQueueEntry> entries;
+    entries.reserve(device_queue_.size());
+    const mcu::Mcu& mcu = card_.mcu();
+    for (const std::uint64_t ready_id : device_queue_) {
+      const Pending& p = pending(ready_id);
+      DeviceQueueEntry entry;
+      entry.id = ready_id;
+      entry.function = p.request.function;
+      entry.ready = p.request.device_ready;
+      entry.resident = mcu.is_resident(entry.function);
+      if (!entry.resident)
+        if (const auto record = mcu.rom().lookup(entry.function))
+          entry.reconfig_frames = record->frames;
+      entries.push_back(entry);
+    }
+    choice = device_scheduler_->pick(entries);
+    AAD_CHECK(choice < device_queue_.size(),
+              "device scheduler picked out of range");
+  }
+  const std::uint64_t id = device_queue_[choice];
+  if (!serve_device(id)) {
+    // The pick may not take the engine while the fabric is busy (overlap
+    // refused).  It stays queued — later arrivals can still be reordered
+    // ahead of it — and the pump retries once the fabric frees.
+    schedule_pump(fabric_free_);
+    return;
+  }
+  device_queue_.erase(device_queue_.begin() +
+                      static_cast<std::ptrdiff_t>(choice));
+  pump_device();  // the commit advanced engine_free_; wake up then
+}
+
+bool CoprocessorServer::serve_device(std::uint64_t id) {
   Pending& p = pending(id);
-  // The card serves requests FIFO in data-arrival order: reserve the next
-  // free window now and plan both device stages into it.  Mutating MCU
-  // state here is safe because reservations are made in chronological
-  // order, so the residency/eviction decisions happen in service order.
-  const sim::SimTime start = std::max(now(), device_free_);
-  p.request.device_wait = start - now();
-  p.request.device_start = start;
+  mcu::Mcu& mcu = card_.mcu();
+  // The pump only fires once the engine is free, so the engine grant is
+  // immediate (or the request defers without committing anything).
+  const sim::SimTime engine_start = std::max(now(), engine_free_);
 
-  const mcu::PreparedInvoke prep =
-      card_.mcu().prepare_invoke(p.request.function, start);
-  mcu::ExecutedInvoke run = card_.mcu().execute_invoke(
-      p.request.function, p.input, start + prep.time);
+  // Fabric windows that are over by the time the engine starts no longer
+  // constrain anything.
+  std::erase_if(executing_, [engine_start](const FabricCommitment& c) {
+    return c.end <= engine_start;
+  });
 
-  p.request.load = prep.load;
-  p.request.prepare_time = prep.time;
+  // Overlapped reconfiguration: with the fabric still executing, this
+  // request's load may stream through the config engine only if it cannot
+  // touch any executing function's frames.  Pinning the executing functions
+  // keeps them out of the eviction loop, which — allocation only ever
+  // handing out free frames — makes the new frame set disjoint from theirs.
+  // When overlap is off, or even the limit state (everything non-pinned
+  // evicted) cannot place the function, defer: the request waits for the
+  // fabric like the pre-split server, but uncommitted, so the scheduler
+  // can still reorder the queue meanwhile.
+  std::vector<memory::FunctionId> pins;
+  const bool fabric_busy = fabric_free_ > engine_start;
+  if (fabric_busy) {
+    if (!config_.overlap_reconfig) return false;
+    if (!mcu.is_resident(p.request.function)) {
+      for (const FabricCommitment& c : executing_)
+        if (std::find(pins.begin(), pins.end(), c.function) == pins.end())
+          pins.push_back(c.function);
+      PinGuard probe(mcu, pins);
+      if (!mcu.load_feasible(p.request.function)) return false;
+      // probe unpins; the real pins are re-applied around the load below.
+    }
+  }
+  const sim::SimTime fabric_busy_until = fabric_free_;
+
+  p.request.engine_wait = engine_start - p.request.device_ready;
+  p.request.device_start = engine_start;
+
+  p.request.decode_time = mcu.decode_invoke(engine_start);
+  const sim::SimTime load_start = engine_start + p.request.decode_time;
+  sim::SimTime load_elapsed;
+  {
+    PinGuard guard(mcu, std::move(pins));
+    p.request.load = mcu.load_invoke(p.request.function, load_start,
+                                     &load_elapsed);
+  }
+  // The load has committed: from here on Mcu::is_resident carries the
+  // routing signal, so the inbound marker retires (were it kept through
+  // PCI-out, an eviction by a later overlapped load could leave the fleet
+  // routing on a function this card no longer holds or expects).
+  const auto inbound = inbound_.find(p.request.function);
+  AAD_CHECK(inbound != inbound_.end(), "inbound accounting out of sync");
+  if (--inbound->second == 0) inbound_.erase(inbound);
+
+  p.request.prepare_time = p.request.decode_time + load_elapsed;
+  const sim::SimTime engine_end = engine_start + p.request.prepare_time;
+
+  // The overlap win: load time that ran while another request's fabric
+  // execution was still in flight.
+  if (fabric_busy_until > load_start && load_elapsed > sim::SimTime::zero())
+    p.request.hidden_reconfig =
+        std::min(engine_end, fabric_busy_until) - load_start;
+
+  const sim::SimTime fabric_start = std::max(engine_end, fabric_free_);
+  p.request.fabric_wait = fabric_start - engine_end;
+  p.request.fabric_start = fabric_start;
+  p.request.device_wait = p.request.engine_wait + p.request.fabric_wait;
+
+  mcu::ExecutedInvoke run =
+      mcu.execute_invoke(p.request.function, p.input, fabric_start);
   p.request.execute_time = run.time;
   p.request.exec_cycles = run.exec_cycles;
   p.request.output = std::move(run.output);
   Bytes().swap(p.input);  // payload has been consumed by the card
 
-  device_free_ = start + prep.time + run.time;
-  card_.scheduler().schedule_at(device_free_,
+  engine_free_ = engine_end;
+  fabric_free_ = fabric_start + run.time;
+  executing_.push_back({fabric_free_, p.request.function});
+  card_.scheduler().schedule_at(fabric_free_,
                                 [this, id] { begin_pci_out(id); });
+  return true;
 }
 
 void CoprocessorServer::begin_pci_out(std::uint64_t id) {
@@ -167,6 +316,10 @@ ServerStats CoprocessorServer::stats() const {
     latencies.push_back(r.latency());
     stats.total_bus_wait += r.bus_wait;
     stats.total_device_wait += r.device_wait;
+    stats.total_engine_wait += r.engine_wait;
+    stats.total_fabric_wait += r.fabric_wait;
+    stats.total_hidden_reconfig += r.hidden_reconfig;
+    if (r.hidden_reconfig > sim::SimTime::zero()) ++stats.overlapped_loads;
   }
   stats.makespan = last_complete - first_submit;
   if (stats.makespan > sim::SimTime::zero())

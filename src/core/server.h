@@ -2,40 +2,59 @@
 //
 // The synchronous AgileCoprocessor::invoke folds a whole invocation into one
 // blocking call.  The server instead drives every request through the
-// discrete-event scheduler as four staged events,
+// discrete-event scheduler as five staged events,
 //
-//   submit ──► PCI data-in ──► device (reconfig + execute) ──► PCI data-out
+//   submit ──► PCI data-in ──► decode ──► load ──► execute ──► PCI data-out
+//                              └─ config engine ─┘   fabric
 //
-// with two shared resources arbitrated independently:
-//   * the PCI bus      — one transfer at a time (pci::PciBus::acquire),
-//   * the card itself  — MCU firmware, configuration engine and fabric
-//                        serialize per request, FIFO in data-arrival order.
+// with three shared resources arbitrated independently:
+//   * the PCI bus           — one transfer at a time (pci::PciBus::acquire),
+//   * the config engine     — MCU firmware decode + the on-demand load
+//                             (eviction + streaming reconfiguration),
+//   * the fabric            — RAM staging + execution, one function at a time.
 //
 // Because the resources are independent, request B's input DMA overlaps
-// request A's reconfiguration or execution, and back-to-back requests for a
-// resident function pipeline: the card computes while the bus streams the
-// next payload.  stats() reports per-request latency percentiles and
-// throughput.  One server pipelines one card; core::CoprocessorFleet
-// (fleet.h) shards N of these pipelines behind a dispatch policy, and every
-// further scaling PR (preemption, heterogeneous cards) slots in there.
+// request A's reconfiguration or execution, and — when overlap_reconfig is
+// on — request B's *reconfiguration* streams through the config engine
+// while request A still owns the fabric.  That is legal exactly when B's
+// allocated frames are disjoint from every executing function's frames; the
+// server guarantees it by pinning every function with an outstanding fabric
+// window (mcu::Mcu::pin) for the duration of B's load, so the eviction loop
+// can never touch them, and by serializing behind the fabric when
+// mcu::Mcu::load_feasible says the pinned frames fragment the device too
+// much.  The device-ready queue is ordered by a pluggable DeviceScheduler
+// (FIFO baseline — bit-exact with the pre-split single-resource server when
+// overlap_reconfig is off — plus resident-first and
+// shortest-reconfiguration-first; see core/device_scheduler.h).
+//
+// stats() reports per-request latency percentiles, throughput, and the wait
+// attribution split into bus/engine/fabric, plus the total reconfiguration
+// time hidden behind execution.  One server pipelines one card;
+// core::CoprocessorFleet (fleet.h) shards N of these pipelines behind a
+// dispatch policy that composes with the per-card device policy.
 //
 // Typical use:
 //
 //   aad::core::AgileCoprocessor card;
 //   card.download_all();
-//   aad::core::CoprocessorServer server(card);
+//   aad::core::ServerConfig sc;
+//   sc.device_policy = aad::core::DevicePolicy::kResidentFirst;
+//   aad::core::CoprocessorServer server(card, sc);
 //   server.submit(/*client=*/0, KernelId::kAes128, input_a);
 //   server.submit(/*client=*/1, KernelId::kSha256, input_b);
 //   server.run();                       // drain the event queue
-//   auto st = server.stats();           // p50/p99 latency, throughput
+//   auto st = server.stats();           // p50/p99 latency, hidden reconfig
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/coprocessor.h"
+#include "core/device_scheduler.h"
 
 namespace aad::core {
 
@@ -50,16 +69,25 @@ struct ServerRequest {
 
   sim::SimTime submit_time;      ///< arrival at the host driver
   sim::SimTime pci_in_start;     ///< bus granted for the input DMA
-  sim::SimTime device_start;     ///< card begins firmware + load + execute
+  sim::SimTime device_ready;     ///< input DMA done; entered the device queue
+  sim::SimTime device_start;     ///< config engine begins firmware decode
+  sim::SimTime fabric_start;     ///< fabric begins RAM staging + execution
   sim::SimTime pci_out_start;    ///< bus granted for the output DMA
   sim::SimTime complete_time;    ///< host observes completion
 
   sim::SimTime pci_in_time;      ///< command setup + input DMA occupancy
-  sim::SimTime prepare_time;     ///< firmware + eviction + reconfiguration
+  sim::SimTime decode_time;      ///< firmware command decode
+  sim::SimTime prepare_time;     ///< decode + eviction + reconfiguration
   sim::SimTime execute_time;     ///< RAM staging + fabric execution
   sim::SimTime pci_out_time;     ///< output DMA + status occupancy
   sim::SimTime bus_wait;         ///< PCI arbitration queuing delay
-  sim::SimTime device_wait;      ///< queued behind other requests' device use
+  sim::SimTime engine_wait;      ///< device_ready -> config engine grant
+  sim::SimTime fabric_wait;      ///< load done -> fabric grant
+  sim::SimTime device_wait;      ///< engine_wait + fabric_wait
+  /// Reconfiguration (+eviction) time that ran while another request's
+  /// fabric execution was still in flight — the overlap win.  Zero when the
+  /// load was a hit, the fabric was idle, or overlap is disabled.
+  sim::SimTime hidden_reconfig;
 
   sim::SimTime latency() const noexcept { return complete_time - submit_time; }
 };
@@ -68,9 +96,13 @@ struct LatencySummary {
   sim::SimTime min, mean, p50, p90, p99, max;
 };
 
-/// Nearest-rank percentile summary of a latency sample (sorted in place).
+/// Nearest-rank percentile summary of a latency sample (sorted in place):
+/// the q-quantile is the smallest sample value with at least a fraction q
+/// of the sample at or below it, i.e. sorted[ceil(q*n) - 1].  A single
+/// sample is its own p50/p90/p99; with n < 100 the p99 is simply the max
+/// (ceil(0.99*n) == n for 1 <= n <= 100).  Zeroes on an empty sample.
 /// Shared by CoprocessorServer::stats() and the fleet-wide aggregation in
-/// CoprocessorFleet::stats(); zeroes on an empty sample.
+/// CoprocessorFleet::stats().
 LatencySummary summarize_latencies(std::vector<sim::SimTime> latencies);
 
 struct ServerStats {
@@ -80,7 +112,23 @@ struct ServerStats {
   double throughput_rps = 0.0;   ///< completed per simulated second
   LatencySummary latency;        ///< over completed requests
   sim::SimTime total_bus_wait;
-  sim::SimTime total_device_wait;
+  sim::SimTime total_device_wait;    ///< engine + fabric wait, summed
+  sim::SimTime total_engine_wait;    ///< queued for the config engine
+  sim::SimTime total_fabric_wait;    ///< load done, fabric still busy
+  sim::SimTime total_hidden_reconfig;  ///< reconfig overlapped with execution
+  std::uint64_t overlapped_loads = 0;  ///< loads that ran during execution
+};
+
+/// Per-server policy knobs.  The defaults (FIFO + overlap) serve requests
+/// in data-arrival order while hiding reconfigurations behind execution;
+/// {kFifo, overlap_reconfig = false} reproduces the pre-split
+/// single-resource device stage bit-exactly (the regression tests pin this).
+struct ServerConfig {
+  DevicePolicy device_policy = DevicePolicy::kFifo;
+  /// Stream a queued request's configuration while the fabric executes
+  /// another (frames permitting).  Off = decode+load+execute serialize per
+  /// request, exactly the old one-busy-until-scalar device stage.
+  bool overlap_reconfig = true;
 };
 
 class CoprocessorServer {
@@ -91,7 +139,8 @@ class CoprocessorServer {
 
   /// The card must outlive the server.  Functions are provisioned through
   /// the card as before (download / download_all).
-  explicit CoprocessorServer(AgileCoprocessor& card);
+  explicit CoprocessorServer(AgileCoprocessor& card,
+                             const ServerConfig& config = {});
 
   // --- submission ----------------------------------------------------------
 
@@ -118,6 +167,21 @@ class CoprocessorServer {
 
   sim::SimTime now() const noexcept { return card_.now(); }
   std::size_t in_flight() const noexcept { return in_flight_; }
+  const ServerConfig& config() const noexcept { return config_; }
+  /// Requests whose input DMA finished but the config engine has not yet
+  /// accepted them (what the DeviceScheduler reorders).
+  std::size_t device_queue_depth() const noexcept {
+    return device_queue_.size();
+  }
+  /// Is any in-flight request for `function` heading to this card whose
+  /// load has not yet committed?  The fleet's residency-affinity router
+  /// counts an inbound configuration like a resident one: by the time a
+  /// new arrival reaches the device stage, the inbound request will have
+  /// loaded it (or be queued ahead doing so).  Once the load commits,
+  /// Mcu::is_resident carries the signal instead.
+  bool function_inbound(memory::FunctionId function) const {
+    return inbound_.contains(function);
+  }
   const std::vector<ServerRequest>& completed() const noexcept {
     return completed_;
   }
@@ -134,18 +198,51 @@ class CoprocessorServer {
     Bytes input;
     Completion done;
   };
+  /// A committed fabric window: `function` owns the fabric until `end` and
+  /// must be pinned against eviction by any load overlapping that window.
+  struct FabricCommitment {
+    sim::SimTime end;
+    memory::FunctionId function;
+  };
 
   void begin_pci_in(std::uint64_t id);
-  void begin_device(std::uint64_t id);
+  void device_ready(std::uint64_t id);
+  /// When the device could next START a request's engine window: the
+  /// engine's free instant — or, with overlap off, the fabric's too.
+  /// Committing no earlier than this keeps the ready queue reorderable for
+  /// as long as the hardware is genuinely busy.
+  sim::SimTime device_available() const noexcept {
+    return config_.overlap_reconfig ? engine_free_
+                                    : std::max(engine_free_, fabric_free_);
+  }
+  /// Ensure a pump_device wake-up fires no later than `when`.
+  void schedule_pump(sim::SimTime when);
+  /// Commit the policy's next pick to the engine + fabric; reschedules
+  /// itself at the device's next-start instant while requests are waiting.
+  void pump_device();
+  /// Plan `id`'s engine + fabric windows and mutate the MCU accordingly.
+  /// Returns false — nothing committed, the request stays queued — when
+  /// the fabric is busy and the request may not take the engine yet
+  /// (overlap disabled, or its load cannot avoid the pinned frames); the
+  /// pump retries once the fabric frees, and can reorder around it.
+  bool serve_device(std::uint64_t id);
   void begin_pci_out(std::uint64_t id);
   void complete(std::uint64_t id);
   Pending& pending(std::uint64_t id);
 
   AgileCoprocessor& card_;
+  ServerConfig config_;
+  std::unique_ptr<DeviceScheduler> device_scheduler_;
   std::map<std::uint64_t, Pending> queue_;  ///< in-flight, by request id
+  std::vector<std::uint64_t> device_queue_;  ///< ready ids, arrival order
+  /// In-flight requests whose load has not yet committed, by function.
+  std::map<memory::FunctionId, unsigned> inbound_;
   std::uint64_t next_id_ = 0;
   std::size_t in_flight_ = 0;
-  sim::SimTime device_free_;         ///< card busy-until (FIFO service)
+  sim::SimTime engine_free_;         ///< config engine busy-until
+  sim::SimTime fabric_free_;         ///< fabric busy-until
+  std::vector<FabricCommitment> executing_;  ///< fabric windows not yet over
+  std::optional<sim::SimTime> pump_wake_;  ///< earliest pending pump event
   std::vector<ServerRequest> completed_;
   std::uint64_t submitted_ = 0;
 };

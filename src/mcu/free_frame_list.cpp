@@ -15,6 +15,24 @@ const char* to_string(AllocationStrategy strategy) noexcept {
   return "?";
 }
 
+bool placement_possible(unsigned needed, AllocationStrategy strategy,
+                        const std::vector<bool>& blocked) {
+  if (strategy == AllocationStrategy::kGatherScattered) {
+    // Scattered gathering only needs the total count.
+    unsigned available = 0;
+    for (const bool b : blocked)
+      if (!b && ++available >= needed) return true;
+    return false;
+  }
+  // Both contiguous strategies place iff some unblocked run fits.
+  unsigned run = 0;
+  for (const bool b : blocked) {
+    run = b ? 0 : run + 1;
+    if (run >= needed) return true;
+  }
+  return false;
+}
+
 FreeFrameList::FreeFrameList(unsigned frame_count)
     : free_(frame_count, true), free_frames_(frame_count) {
   AAD_REQUIRE(frame_count >= 1, "device must have at least one frame");

@@ -26,6 +26,14 @@ enum class AllocationStrategy : std::uint8_t {
 
 const char* to_string(AllocationStrategy strategy) noexcept;
 
+/// Could `needed` frames be placed under `strategy` on a device where only
+/// the frames marked true in `blocked` are unavailable?  The one owner of
+/// each strategy's placement rule (contiguous run vs total count), shared
+/// by FreeFrameList::allocate's semantics and Mcu::load_feasible's
+/// limit-state probe so the two can never diverge.
+bool placement_possible(unsigned needed, AllocationStrategy strategy,
+                        const std::vector<bool>& blocked);
+
 class FreeFrameList {
  public:
   explicit FreeFrameList(unsigned frame_count);

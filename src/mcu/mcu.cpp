@@ -67,6 +67,35 @@ std::vector<memory::FunctionId> Mcu::resident_functions() const {
   return out;
 }
 
+std::vector<fabric::FrameIndex> Mcu::frames_of(memory::FunctionId id) const {
+  const auto it = loaded_.find(id);
+  return it != loaded_.end() ? it->second.frames
+                             : std::vector<fabric::FrameIndex>{};
+}
+
+void Mcu::pin(memory::FunctionId id) {
+  AAD_REQUIRE(loaded_.contains(id), "pinning a non-resident function");
+  pinned_.insert(id);
+}
+
+void Mcu::unpin(memory::FunctionId id) { pinned_.erase(id); }
+
+bool Mcu::load_feasible(memory::FunctionId id) const {
+  if (loaded_.contains(id)) return true;  // hit: no frames touched
+  const auto record = rom_.lookup(id);
+  if (!record) return true;  // let load_invoke raise the provisioning error
+  // Limit state: every non-pinned resident evicted.  Only the pinned
+  // functions' frames stay blocked; can the strategy place `id` then?
+  std::vector<bool> blocked(free_list_.frame_count(), false);
+  for (const memory::FunctionId pinned : pinned_) {
+    const auto it = loaded_.find(pinned);
+    if (it == loaded_.end()) continue;
+    for (const fabric::FrameIndex frame : it->second.frames)
+      blocked[frame] = true;
+  }
+  return placement_possible(record->frames, config_.allocation, blocked);
+}
+
 sim::SimTime Mcu::evict_cost(memory::FunctionId id, sim::SimTime start) {
   const auto it = loaded_.find(id);
   AAD_CHECK(it != loaded_.end(), "evicting a non-resident function");
@@ -80,6 +109,7 @@ sim::SimTime Mcu::evict_cost(memory::FunctionId id, sim::SimTime start) {
 
 void Mcu::evict(memory::FunctionId id) {
   AAD_REQUIRE(loaded_.contains(id), "function not resident");
+  AAD_REQUIRE(!pinned_.contains(id), "evicting a pinned function");
   scheduler_.advance(evict_cost(id, scheduler_.now()));
 }
 
@@ -90,6 +120,9 @@ DefragResult Mcu::defragment() {
 }
 
 DefragResult Mcu::defragment_at(sim::SimTime start) {
+  // Compaction relocates every resident function; a pinned function may be
+  // mid-execution on the fabric, so the mini-OS refuses to move it.
+  AAD_REQUIRE(pinned_.empty(), "cannot defragment while functions are pinned");
   DefragResult result;
   sim::SimTime t = start;
   ++stats_.defragmentations;
@@ -139,6 +172,7 @@ DefragResult Mcu::defragment_at(sim::SimTime start) {
 void Mcu::reset_fabric() {
   loaded_.clear();
   table_.clear();
+  pinned_.clear();
   free_list_.reset();
   fabric_.erase();
 }
@@ -184,18 +218,26 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
     if (frames) break;
     ++stats_.allocation_retries;
     // Under pure external fragmentation, one compaction pass can satisfy a
-    // contiguous request without evicting anyone.
-    if (!tried_defrag && config_.defragment_on_pressure &&
+    // contiguous request without evicting anyone.  (Not while anything is
+    // pinned: compaction would relocate an executing function's frames.)
+    if (!tried_defrag && config_.defragment_on_pressure && pinned_.empty() &&
         free_list_.free_count() >= record->frames) {
       tried_defrag = true;
       t += defragment_at(t).time;
       continue;
     }
-    const auto resident = resident_functions();
+    auto resident = resident_functions();
+    if (!pinned_.empty())
+      std::erase_if(resident, [this](memory::FunctionId fn) {
+        return pinned_.contains(fn);
+      });
     if (resident.empty())
       AAD_FAIL(ErrorCode::kCapacityExceeded,
-               "cannot place function even on an empty device "
-               "(fragmentation-free allocation impossible)");
+               pinned_.empty()
+                   ? "cannot place function even on an empty device "
+                     "(fragmentation-free allocation impossible)"
+                   : "cannot place function: every resident function is "
+                     "pinned (caller should have checked load_feasible)");
     const memory::FunctionId victim =
         policy_->choose_victim(resident, table_);
     t += evict_cost(victim, t);
@@ -243,12 +285,21 @@ netlist::LutExecutor& Mcu::executor_for(LoadedFunction& fn) {
   return *fn.executor;
 }
 
+sim::SimTime Mcu::decode_invoke(sim::SimTime start) {
+  ++stats_.invocations;
+  return firmware_cost(config_.command_overhead_cycles, start);
+}
+
+LoadResult Mcu::load_invoke(memory::FunctionId id, sim::SimTime start,
+                            sim::SimTime* elapsed) {
+  return load_at(id, start, elapsed);
+}
+
 PreparedInvoke Mcu::prepare_invoke(memory::FunctionId id, sim::SimTime start) {
   PreparedInvoke prep;
-  ++stats_.invocations;
-  prep.firmware_time = firmware_cost(config_.command_overhead_cycles, start);
+  prep.firmware_time = decode_invoke(start);
   sim::SimTime load_elapsed;
-  prep.load = load_at(id, start + prep.firmware_time, &load_elapsed);
+  prep.load = load_invoke(id, start + prep.firmware_time, &load_elapsed);
   prep.time = prep.firmware_time + load_elapsed;
   return prep;
 }

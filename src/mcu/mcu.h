@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "fabric/fabric.h"
@@ -133,16 +134,54 @@ class Mcu {
   // immediately — the caller has already reserved the device for a window
   // beginning at `start` — but return simulated durations instead of
   // advancing the scheduler; trace spans are stamped at `start`-relative
-  // virtual times.  Calls for the same request must be issued in order and
-  // back-to-back: execute_invoke at `start + prepare.time`.
+  // virtual times.  Calls for the same request must be issued in service
+  // order; the configuration-engine stages (decode_invoke + load_invoke)
+  // and the fabric stage (execute_invoke) are separable, so the server may
+  // stream request B's configuration while request A still owns the fabric
+  // — provided every function with an outstanding fabric window is pinned
+  // (see pin()) so B's load cannot evict or overwrite its frames.
 
-  /// Firmware command decode + ensure_loaded as of `start`.
+  /// Firmware command decode as of `start` — the fixed per-command cost the
+  /// microcontroller pays before the on-demand load.  Counts the invocation.
+  sim::SimTime decode_invoke(sim::SimTime start);
+
+  /// The on-demand load (§2.5) as of `start`: hit check, allocation,
+  /// eviction loop (pinned functions are never chosen as victims), streaming
+  /// configuration.  `*elapsed` receives the full duration (zero on a hit).
+  LoadResult load_invoke(memory::FunctionId id, sim::SimTime start,
+                         sim::SimTime* elapsed);
+
+  /// decode_invoke + load_invoke back-to-back (the serialized device stage);
+  /// kept as the composition so the synchronous shim and the no-overlap
+  /// server path stay bit-exact with the split primitives.
   PreparedInvoke prepare_invoke(memory::FunctionId id, sim::SimTime start);
 
   /// Data-in, fabric execution, output collection as of `start`.
-  /// Requires `id` resident (prepare_invoke was called).
+  /// Requires `id` resident (load_invoke/prepare_invoke was called).
   ExecutedInvoke execute_invoke(memory::FunctionId id, ByteSpan input,
                                 sim::SimTime start);
+
+  // --- pinning (overlapped reconfiguration) --------------------------------
+  // While the fabric executes function A, the server streams function B's
+  // configuration through the engine.  Pinning A for the duration of B's
+  // load_invoke keeps A out of the eviction loop, and — because allocation
+  // only ever hands out free frames — guarantees B's frame set is disjoint
+  // from A's.  Pins are a host-driver concept: they cost no simulated time.
+
+  /// Exclude a resident function from eviction (idempotent).
+  void pin(memory::FunctionId id);
+  /// Re-admit a function to the eviction candidates (no-op if not pinned).
+  void unpin(memory::FunctionId id);
+  bool is_pinned(memory::FunctionId id) const { return pinned_.contains(id); }
+  std::size_t pinned_count() const noexcept { return pinned_.size(); }
+
+  /// Could load_invoke(id) complete right now without evicting a pinned
+  /// function?  True on a hit; on a miss, checks the limit state in which
+  /// every non-pinned resident is evicted — if the allocation strategy
+  /// cannot place the function even then (pinned frames fragment the
+  /// device), an overlapped load is illegal and the caller must serialize
+  /// behind the fabric.  Pure query: no simulated time, no state change.
+  bool load_feasible(memory::FunctionId id) const;
 
   /// Explicitly evict a resident function (host-directed swap-out).
   void evict(memory::FunctionId id);
@@ -165,6 +204,9 @@ class Mcu {
   }
   std::size_t resident_count() const noexcept { return loaded_.size(); }
   std::vector<memory::FunctionId> resident_functions() const;
+  /// The frames `id` currently occupies (empty when not resident) — the
+  /// frame-set query the overlap legality check and its tests rest on.
+  std::vector<fabric::FrameIndex> frames_of(memory::FunctionId id) const;
   const FrameReplacementTable& frame_table() const noexcept { return table_; }
   const FreeFrameList& free_frames() const noexcept { return free_list_; }
   const memory::RomImage& rom() const noexcept { return rom_; }
@@ -208,6 +250,7 @@ class Mcu {
   std::unique_ptr<ReplacementPolicy> policy_;
   FrameReplacementTable table_;
   std::map<memory::FunctionId, LoadedFunction> loaded_;
+  std::set<memory::FunctionId> pinned_;  ///< excluded from eviction
   McuStats stats_;
 };
 

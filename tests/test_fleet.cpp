@@ -298,6 +298,77 @@ TEST(CoprocessorFleetTest, PolicyNamesRoundTrip) {
   EXPECT_STREQ(to_string(DispatchPolicy::kLeastQueued), "least-queued");
   EXPECT_STREQ(to_string(DispatchPolicy::kResidencyAffinity),
                "residency-affinity");
+  EXPECT_STREQ(to_string(DevicePolicy::kFifo), "fifo");
+  EXPECT_STREQ(to_string(DevicePolicy::kResidentFirst), "resident-first");
+  EXPECT_STREQ(to_string(DevicePolicy::kShortestReconfigFirst),
+               "shortest-reconfig-first");
+}
+
+TEST(CoprocessorFleetTest, DevicePolicyComposesWithDispatchPolicy) {
+  // Dispatch picks the card, the device scheduler orders that card's ready
+  // queue: the FleetConfig.server knobs reach every shard, the run
+  // completes, and the overlap accounting aggregates fleet-wide.
+  const auto trace = skewed_trace(31);
+  FleetConfig fc;
+  fc.cards = 2;
+  fc.policy = DispatchPolicy::kResidencyAffinity;
+  fc.server.device_policy = DevicePolicy::kResidentFirst;
+  fc.server.overlap_reconfig = true;
+  CoprocessorFleet fleet(fc);
+  fleet.download_all();
+  for (unsigned i = 0; i < fleet.card_count(); ++i) {
+    EXPECT_EQ(fleet.server(i).config().device_policy,
+              DevicePolicy::kResidentFirst);
+    EXPECT_TRUE(fleet.server(i).config().overlap_reconfig);
+  }
+  workload::replay(fleet, trace, request_input);
+  fleet.run();
+
+  const auto stats = fleet.stats();
+  EXPECT_EQ(stats.completed, trace.total_requests());
+  EXPECT_EQ(stats.total_device_wait,
+            stats.total_engine_wait + stats.total_fabric_wait);
+  // Per-card hidden-reconfig sums equal the fleet-wide total.
+  sim::SimTime hidden;
+  std::uint64_t overlapped = 0;
+  for (const auto& card : stats.cards) {
+    hidden += card.server.total_hidden_reconfig;
+    overlapped += card.server.overlapped_loads;
+  }
+  EXPECT_EQ(stats.total_hidden_reconfig, hidden);
+  EXPECT_EQ(stats.overlapped_loads, overlapped);
+}
+
+TEST(CoprocessorFleetTest, SingleCardFleetBitExactUnderReorderingPolicy) {
+  // The dispatch hop stays timing-neutral for every ServerConfig, not just
+  // the FIFO default.
+  const auto trace = skewed_trace(37);
+  ServerConfig sc;
+  sc.device_policy = DevicePolicy::kShortestReconfigFirst;
+  sc.overlap_reconfig = true;
+
+  AgileCoprocessor card;
+  card.download_all();
+  CoprocessorServer server(card, sc);
+  workload::replay(server, trace, request_input);
+  server.run();
+
+  FleetConfig fc;
+  fc.cards = 1;
+  fc.server = sc;
+  CoprocessorFleet fleet(fc);
+  fleet.download_all();
+  workload::replay(fleet, trace, request_input);
+  fleet.run();
+
+  const auto a = server.stats();
+  const auto b = fleet.stats();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.latency.p99, b.latency.p99);
+  EXPECT_EQ(a.total_hidden_reconfig, b.total_hidden_reconfig);
+  EXPECT_EQ(a.total_engine_wait, b.total_engine_wait);
+  EXPECT_EQ(a.total_fabric_wait, b.total_fabric_wait);
 }
 
 TEST(CoprocessorFleetTest, SubmitInThePastThrows) {

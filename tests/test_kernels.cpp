@@ -28,8 +28,9 @@ TEST(CatalogTest, HasBothKindsAndUniqueIds) {
     EXPECT_NE(s.host_time, nullptr) << s.name;
     EXPECT_NE(s.make_bitstream, nullptr) << s.name;
     EXPECT_NE(s.make_input, nullptr) << s.name;
-    if (s.kind == bitstream::FunctionKind::kBehavioral)
+    if (s.kind == bitstream::FunctionKind::kBehavioral) {
       EXPECT_NE(s.fabric_cycles, nullptr) << s.name;
+    }
   }
   EXPECT_GE(netlist_count, 8u);
   EXPECT_GE(behavioral_count, 9u);

@@ -405,5 +405,121 @@ TEST_F(McuFixture, StatsAccumulateAcrossInvokes) {
   EXPECT_GT(s.compressed_bytes_streamed, 0u);
 }
 
+TEST_F(McuFixture, FramesOfReportsResidencyFrameSets) {
+  provision(KernelId::kAes128);
+  provision(KernelId::kSha256);
+  const auto aes = algorithms::function_id(KernelId::kAes128);
+  const auto sha = algorithms::function_id(KernelId::kSha256);
+  EXPECT_TRUE(mcu_.frames_of(aes).empty());  // not resident yet
+
+  mcu_.ensure_loaded(aes);
+  mcu_.ensure_loaded(sha);
+  const auto aes_frames = mcu_.frames_of(aes);
+  const auto sha_frames = mcu_.frames_of(sha);
+  EXPECT_EQ(aes_frames.size(), 12u);
+  EXPECT_EQ(sha_frames.size(), 10u);
+  // Two resident functions never share a frame — the disjointness the
+  // overlapped-reconfiguration path relies on.
+  for (const auto f : aes_frames)
+    for (const auto g : sha_frames) EXPECT_NE(f, g);
+
+  mcu_.evict(aes);
+  EXPECT_TRUE(mcu_.frames_of(aes).empty());
+}
+
+TEST_F(McuFixture, PinExcludesFunctionFromEviction) {
+  // 48-frame device: AES(12) + FFT(16) + MatMul(14) fill it to 42; SHA256
+  // (10) forces the eviction loop.  With LRU the victim would be AES, but
+  // a pinned AES (as if mid-execution on the fabric) must survive.
+  provision(KernelId::kAes128);
+  provision(KernelId::kFft);
+  provision(KernelId::kMatMul);
+  provision(KernelId::kSha256);
+  const auto aes = algorithms::function_id(KernelId::kAes128);
+  mcu_.ensure_loaded(aes);
+  mcu_.ensure_loaded(algorithms::function_id(KernelId::kFft));
+  mcu_.ensure_loaded(algorithms::function_id(KernelId::kMatMul));
+
+  mcu_.pin(aes);
+  EXPECT_TRUE(mcu_.is_pinned(aes));
+  const auto load =
+      mcu_.ensure_loaded(algorithms::function_id(KernelId::kSha256));
+  EXPECT_GE(load.evictions, 1u);
+  EXPECT_TRUE(mcu_.is_resident(aes));  // LRU victim, but pinned
+  mcu_.unpin(aes);
+  EXPECT_FALSE(mcu_.is_pinned(aes));
+}
+
+TEST_F(McuFixture, PinnedFunctionsRejectEvictAndDefragment) {
+  provision(KernelId::kAdder32);
+  const auto fid = algorithms::function_id(KernelId::kAdder32);
+  mcu_.ensure_loaded(fid);
+  mcu_.pin(fid);
+  EXPECT_THROW(mcu_.evict(fid), Error);          // host-directed swap-out
+  EXPECT_THROW(mcu_.defragment(), Error);        // would relocate its frames
+  mcu_.unpin(fid);
+  mcu_.evict(fid);                               // legal once unpinned
+  EXPECT_FALSE(mcu_.is_resident(fid));
+  EXPECT_THROW(mcu_.pin(fid), Error);            // pinning needs residency
+}
+
+TEST_F(McuFixture, LoadFeasibleHonorsPinnedLimitState) {
+  // Fill the device, pin everything: no load can be placed.  Unpin one
+  // function and the load becomes feasible again (its frames could be
+  // evicted in the limit).
+  provision(KernelId::kAes128);
+  provision(KernelId::kFft);
+  provision(KernelId::kMatMul);
+  provision(KernelId::kSha256);
+  const auto aes = algorithms::function_id(KernelId::kAes128);
+  const auto fft = algorithms::function_id(KernelId::kFft);
+  const auto mm = algorithms::function_id(KernelId::kMatMul);
+  const auto sha = algorithms::function_id(KernelId::kSha256);
+  mcu_.ensure_loaded(aes);
+  mcu_.ensure_loaded(fft);
+  mcu_.ensure_loaded(mm);  // 42 of 48 frames used
+
+  EXPECT_TRUE(mcu_.load_feasible(aes));  // hit: always feasible
+  mcu_.pin(aes);
+  mcu_.pin(fft);
+  mcu_.pin(mm);
+  EXPECT_FALSE(mcu_.load_feasible(sha));  // 6 free frames, 10 needed
+  mcu_.unpin(fft);
+  EXPECT_TRUE(mcu_.load_feasible(sha));   // evicting FFT frees a 16-run
+
+  // The eviction loop respects the remaining pins: SHA-256 lands without
+  // touching AES or MatMul.
+  const auto load = mcu_.ensure_loaded(sha);
+  EXPECT_GE(load.evictions, 1u);
+  EXPECT_TRUE(mcu_.is_resident(aes));
+  EXPECT_TRUE(mcu_.is_resident(mm));
+  EXPECT_FALSE(mcu_.is_resident(fft));
+  mcu_.unpin(aes);
+  mcu_.unpin(mm);
+}
+
+TEST_F(McuFixture, DecodeAndLoadComposeIntoPrepare) {
+  // The split primitives must reproduce prepare_invoke exactly: same
+  // durations, same residency outcome — the no-overlap server path's
+  // bit-exactness rests on this.
+  provision(KernelId::kAdder32);
+  provision(KernelId::kParity32);
+  const auto a = algorithms::function_id(KernelId::kAdder32);
+  const auto p = algorithms::function_id(KernelId::kParity32);
+
+  const sim::SimTime start = scheduler_.now();
+  const sim::SimTime decode = mcu_.decode_invoke(start);
+  EXPECT_GT(decode, sim::SimTime::zero());
+  sim::SimTime load_elapsed;
+  const LoadResult load = mcu_.load_invoke(a, start + decode, &load_elapsed);
+  EXPECT_FALSE(load.hit);
+  EXPECT_GT(load_elapsed, sim::SimTime::zero());
+
+  const PreparedInvoke prep = mcu_.prepare_invoke(p, start);
+  EXPECT_EQ(prep.firmware_time, decode);  // same fixed command decode
+  EXPECT_EQ(prep.time, prep.firmware_time + prep.load.reconfig_time);
+  EXPECT_EQ(mcu_.stats().invocations, 2u);  // decode_invoke counts the call
+}
+
 }  // namespace
 }  // namespace aad::mcu

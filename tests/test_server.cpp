@@ -284,6 +284,274 @@ TEST(CoprocessorServerReplayTest, OpenLoopArrivalsFollowTheTrace) {
   }
 }
 
+TEST(SummarizeLatenciesTest, EmptySampleIsAllZero) {
+  const LatencySummary s = summarize_latencies({});
+  EXPECT_EQ(s.min, sim::SimTime::zero());
+  EXPECT_EQ(s.mean, sim::SimTime::zero());
+  EXPECT_EQ(s.p50, sim::SimTime::zero());
+  EXPECT_EQ(s.p90, sim::SimTime::zero());
+  EXPECT_EQ(s.p99, sim::SimTime::zero());
+  EXPECT_EQ(s.max, sim::SimTime::zero());
+}
+
+TEST(SummarizeLatenciesTest, SingleSampleIsItsOwnPercentiles) {
+  const sim::SimTime t = sim::SimTime::us(42);
+  const LatencySummary s = summarize_latencies({t});
+  EXPECT_EQ(s.min, t);
+  EXPECT_EQ(s.mean, t);
+  EXPECT_EQ(s.p50, t);
+  EXPECT_EQ(s.p90, t);
+  EXPECT_EQ(s.p99, t);
+  EXPECT_EQ(s.max, t);
+}
+
+TEST(SummarizeLatenciesTest, NearestRankOnSmallSamples) {
+  // Nearest-rank: the q-quantile of n samples is sorted[ceil(q*n) - 1].
+  // With 10 samples 10us..100us: p50 -> rank 5 (50us), p90 -> rank 9
+  // (90us), and p99 -> rank 10 — on any sample smaller than 100 the p99
+  // collapses to the max, which is exactly what it should report.
+  std::vector<sim::SimTime> sample;
+  for (int i = 10; i <= 100; i += 10) sample.push_back(sim::SimTime::us(i));
+  const LatencySummary s = summarize_latencies(std::move(sample));
+  EXPECT_EQ(s.min, sim::SimTime::us(10));
+  EXPECT_EQ(s.mean, sim::SimTime::us(55));
+  EXPECT_EQ(s.p50, sim::SimTime::us(50));
+  EXPECT_EQ(s.p90, sim::SimTime::us(90));
+  EXPECT_EQ(s.p99, sim::SimTime::us(100));
+  EXPECT_EQ(s.max, sim::SimTime::us(100));
+
+  // Order of arrival must not matter (the summary sorts its copy).
+  const LatencySummary shuffled = summarize_latencies(
+      {sim::SimTime::us(30), sim::SimTime::us(10), sim::SimTime::us(20)});
+  EXPECT_EQ(shuffled.p50, sim::SimTime::us(20));
+  EXPECT_EQ(shuffled.p99, sim::SimTime::us(30));
+}
+
+// The acceptance bar for the device-stage split: with the FIFO device
+// policy and overlap disabled, the two-resource server must reproduce the
+// pre-split single-busy-until-scalar timings exactly.  Those timings are
+// fully characterized by the serialized recurrence
+//
+//   device_start[i] = max(device_ready[i], fabric_end[i-1])
+//   fabric_start[i] = device_start[i] + prepare_time[i]   (no gap)
+//
+// over requests in service order, with all engine/fabric waits folded into
+// the single wait-for-the-previous-request term.
+TEST(CoprocessorServerRegressionTest, NoOverlapFifoMatchesSerializedDevice) {
+  AgileCoprocessor card;
+  card.download_all();
+  ServerConfig sc;
+  sc.device_policy = DevicePolicy::kFifo;
+  sc.overlap_reconfig = false;
+  CoprocessorServer server(card, sc);
+
+  workload::MultiClientConfig wc;
+  wc.clients = 4;
+  wc.requests_per_client = 10;
+  wc.seed = 29;
+  wc.zipf_s = 0.8;
+  wc.payload_blocks = 8;
+  wc.mode = workload::ArrivalMode::kOpenLoop;
+  wc.mean_interarrival = sim::SimTime::us(40);  // overload: queues form
+  for (const auto& spec : algorithms::catalog())
+    wc.functions.push_back(algorithms::function_id(spec.id));
+  const auto trace = workload::make_multi_client(wc);
+  workload::replay(server, trace,
+                   [](workload::FunctionId fn, std::size_t blocks,
+                      std::size_t index) {
+                     return algorithms::spec(static_cast<KernelId>(fn))
+                         .make_input(blocks, index);
+                   });
+  server.run();
+
+  std::vector<const ServerRequest*> order;
+  for (const ServerRequest& r : server.completed()) order.push_back(&r);
+  ASSERT_EQ(order.size(), wc.clients * wc.requests_per_client);
+  std::sort(order.begin(), order.end(),
+            [](const ServerRequest* a, const ServerRequest* b) {
+              return a->device_start < b->device_start;
+            });
+
+  sim::SimTime prev_fabric_end;
+  for (const ServerRequest* r : order) {
+    EXPECT_EQ(r->device_start, std::max(r->device_ready, prev_fabric_end));
+    EXPECT_EQ(r->fabric_start, r->device_start + r->prepare_time);
+    EXPECT_EQ(r->engine_wait, r->device_start - r->device_ready);
+    EXPECT_EQ(r->fabric_wait, sim::SimTime::zero());
+    EXPECT_EQ(r->device_wait, r->engine_wait);
+    EXPECT_EQ(r->hidden_reconfig, sim::SimTime::zero());
+    prev_fabric_end = r->fabric_start + r->execute_time;
+    EXPECT_GE(r->pci_out_start, prev_fabric_end);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.total_hidden_reconfig, sim::SimTime::zero());
+  EXPECT_EQ(stats.overlapped_loads, 0u);
+  EXPECT_EQ(stats.total_fabric_wait, sim::SimTime::zero());
+  EXPECT_EQ(stats.total_device_wait, stats.total_engine_wait);
+}
+
+TEST(CoprocessorServerOverlapTest, ReconfigurationHidesBehindExecution) {
+  // Request A: resident function with a long fabric execution.  Request B:
+  // a cold function — with overlap on, B's configuration streams through
+  // the engine while A still owns the fabric.
+  struct Outcome {
+    sim::SimTime makespan, hidden;
+    sim::SimTime b_device_start, a_fabric_end;
+    Bytes a_output, b_output;
+  };
+  const Bytes input_a = kernel_input(KernelId::kSha256, 512, 3);
+  const Bytes input_b = kernel_input(KernelId::kAes128, 4, 4);
+  const auto run_once = [&](bool overlap) {
+    AgileCoprocessor card;
+    card.download(KernelId::kSha256);
+    card.download(KernelId::kAes128);
+    ServerConfig sc;
+    sc.overlap_reconfig = overlap;
+    CoprocessorServer server(card, sc);
+    server.submit(0, KernelId::kSha256, input_a);  // long leader
+    server.submit(1, KernelId::kAes128, input_b);  // cold follower
+    server.run();
+    Outcome out;
+    const auto stats = server.stats();
+    out.makespan = stats.makespan;
+    out.hidden = stats.total_hidden_reconfig;
+    for (const ServerRequest& r : server.completed()) {
+      if (r.client == 0) {
+        out.a_fabric_end = r.fabric_start + r.execute_time;
+        out.a_output = r.output;
+      } else {
+        out.b_device_start = r.device_start;
+        out.b_output = r.output;
+      }
+    }
+    return out;
+  };
+
+  const Outcome serialized = run_once(false);
+  const Outcome overlapped = run_once(true);
+
+  // Overlap really happened: B's engine window began while A owned the
+  // fabric, reconfiguration time was hidden, and the makespan shrank.
+  EXPECT_LT(overlapped.b_device_start, overlapped.a_fabric_end);
+  EXPECT_GT(overlapped.hidden, sim::SimTime::zero());
+  EXPECT_LT(overlapped.makespan, serialized.makespan);
+  EXPECT_EQ(serialized.hidden, sim::SimTime::zero());
+
+  // And it is timing-only: outputs stay bit-exact either way.
+  const Bytes want_a = algorithms::spec(KernelId::kSha256).software(input_a);
+  const Bytes want_b = algorithms::spec(KernelId::kAes128).software(input_b);
+  EXPECT_EQ(serialized.a_output, want_a);
+  EXPECT_EQ(overlapped.a_output, want_a);
+  EXPECT_EQ(serialized.b_output, want_b);
+  EXPECT_EQ(overlapped.b_output, want_b);
+}
+
+TEST(CoprocessorServerOverlapTest, EvictionHeavyTraceStaysBitExact) {
+  // Overlapped loads evict non-pinned victims while the fabric is busy;
+  // every output must still match the host software baseline.
+  AgileCoprocessor card;
+  card.download_all();
+  CoprocessorServer server(card);  // defaults: FIFO + overlap
+  ASSERT_TRUE(server.config().overlap_reconfig);
+
+  std::map<std::uint64_t, std::pair<KernelId, Bytes>> submitted;
+  unsigned client = 0;
+  for (int round = 0; round < 3; ++round)
+    for (const auto& spec : algorithms::catalog()) {
+      Bytes input = spec.make_input(4, 60 + client);
+      const auto id = server.submit(client % 5, spec.id, input);
+      submitted.emplace(id, std::make_pair(spec.id, std::move(input)));
+      ++client;
+    }
+  server.run();
+
+  ASSERT_EQ(server.completed().size(), submitted.size());
+  for (const ServerRequest& r : server.completed()) {
+    const auto& [kernel, input] = submitted.at(r.id);
+    EXPECT_EQ(r.output, algorithms::spec(kernel).software(input))
+        << algorithms::spec(kernel).name;
+  }
+  // The thrash guarantees misses; some of their loads should have hidden
+  // behind execution.
+  EXPECT_GT(server.stats().total_hidden_reconfig, sim::SimTime::zero());
+  EXPECT_GT(server.stats().overlapped_loads, 0u);
+}
+
+TEST(CoprocessorServerPolicyTest, ResidentFirstServesHitsBeforeMisses) {
+  // A long-running resident request occupies the fabric; while it runs, a
+  // miss (AES) and a hit (SHA-256) queue up.  Resident-first serves the
+  // hit before the miss; FIFO preserves arrival order.
+  const Bytes blocker = kernel_input(KernelId::kSha256, 512, 1);
+  const Bytes miss_in = kernel_input(KernelId::kAes128, 4, 2);
+  const Bytes hit_in = kernel_input(KernelId::kSha256, 4, 3);
+  const auto completion_order = [&](DevicePolicy policy) {
+    AgileCoprocessor card;
+    card.download(KernelId::kSha256);
+    card.download(KernelId::kAes128);
+    ServerConfig sc;
+    sc.device_policy = policy;
+    sc.overlap_reconfig = false;  // serialize: ordering is the observable
+    CoprocessorServer server(card, sc);
+    server.submit(0, KernelId::kSha256, blocker);  // make resident + occupy
+    server.run();
+    server.submit(1, KernelId::kSha256, blocker);  // occupy the fabric again
+    server.submit(2, KernelId::kAes128, miss_in);  // arrives first: miss
+    server.submit(3, KernelId::kSha256, hit_in);   // arrives second: hit
+    server.run();
+    std::vector<unsigned> clients;
+    for (const ServerRequest& r : server.completed())
+      clients.push_back(r.client);
+    return clients;
+  };
+
+  const auto fifo = completion_order(DevicePolicy::kFifo);
+  ASSERT_EQ(fifo.size(), 4u);
+  EXPECT_EQ(fifo[2], 2u);  // FIFO: the miss keeps its place
+  EXPECT_EQ(fifo[3], 3u);
+
+  const auto reordered = completion_order(DevicePolicy::kResidentFirst);
+  ASSERT_EQ(reordered.size(), 4u);
+  EXPECT_EQ(reordered[2], 3u);  // the hit jumped the miss
+  EXPECT_EQ(reordered[3], 2u);
+}
+
+TEST(CoprocessorServerPolicyTest, ShortestReconfigFirstPicksSmallFootprint) {
+  // Two cold functions queue behind a busy fabric: FFT (16 frames) arrives
+  // before SHA-256 (10 frames).  SJF on the reconfiguration estimate
+  // serves the smaller footprint first.
+  const Bytes blocker = kernel_input(KernelId::kAes128, 512, 1);
+  const auto completion_order = [&](DevicePolicy policy) {
+    AgileCoprocessor card;
+    card.download(KernelId::kAes128);
+    card.download(KernelId::kFft);
+    card.download(KernelId::kSha256);
+    ServerConfig sc;
+    sc.device_policy = policy;
+    sc.overlap_reconfig = false;
+    CoprocessorServer server(card, sc);
+    server.submit(0, KernelId::kAes128, blocker);  // make resident + occupy
+    server.run();
+    server.submit(1, KernelId::kAes128, blocker);
+    server.submit(2, KernelId::kFft, kernel_input(KernelId::kFft, 2, 2));
+    server.submit(3, KernelId::kSha256,
+                  kernel_input(KernelId::kSha256, 2, 3));
+    server.run();
+    std::vector<unsigned> clients;
+    for (const ServerRequest& r : server.completed())
+      clients.push_back(r.client);
+    return clients;
+  };
+
+  const auto fifo = completion_order(DevicePolicy::kFifo);
+  ASSERT_EQ(fifo.size(), 4u);
+  EXPECT_EQ(fifo[2], 2u);  // arrival order
+
+  const auto sjf = completion_order(DevicePolicy::kShortestReconfigFirst);
+  ASSERT_EQ(sjf.size(), 4u);
+  EXPECT_EQ(sjf[2], 3u);  // 10-frame SHA-256 before 16-frame FFT
+  EXPECT_EQ(sjf[3], 2u);
+}
+
 TEST(CoprocessorServerTest, SubmitInThePastThrows) {
   AgileCoprocessor card;
   card.download(KernelId::kXtea);
