@@ -15,8 +15,16 @@ std::vector<std::int32_t> matmul(const std::vector<std::int16_t>& a,
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t k = 0; k < n; ++k) {
       const std::int32_t aik = a[i * n + k];
-      for (std::size_t j = 0; j < n; ++j)
-        c[i * n + j] += aik * static_cast<std::int32_t>(b[k * n + j]);
+      for (std::size_t j = 0; j < n; ++j) {
+        // A 16x16 product always fits in 32 bits, but the running sum is a
+        // hardware MAC accumulator that WRAPS at 32 bits; accumulate
+        // unsigned so the wraparound is defined instead of signed-overflow
+        // UB (same two's-complement values either way).
+        const std::int32_t prod = aik * static_cast<std::int32_t>(b[k * n + j]);
+        c[i * n + j] = static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(c[i * n + j]) +
+            static_cast<std::uint32_t>(prod));
+      }
     }
   return c;
 }

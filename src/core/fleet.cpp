@@ -105,14 +105,31 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
     case DispatchPolicy::kLeastQueued:
       return least_queued();
     case DispatchPolicy::kResidencyAffinity: {
-      // Among the cards already holding the configuration — or with an
-      // in-flight request about to load it (function_inbound) — take the
-      // least loaded (lowest index on ties).  A queued request ahead of us
-      // could still evict the function, but residency-at-arrival is the
-      // cheap, driver-visible signal — mispredictions just cost one
-      // reconfiguration.
+      // Strongest signal first: a card whose device stage is holding an
+      // OPEN batch for this function (a windowed BatchPolicy waiting for
+      // more same-function arrivals) — a request routed there joins the
+      // batch and shares its single decode + load, paying no
+      // reconfiguration at all.
       bool found = false;
       unsigned best = 0;
+      for (unsigned i = 0; i < card_count(); ++i) {
+        if (!shards_[i].server->open_batch_for(function)) continue;
+        if (!found ||
+            shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
+          best = i;
+          found = true;
+        }
+      }
+      if (found) {
+        affinity_hit = true;
+        return best;
+      }
+      // Otherwise, among the cards already holding the configuration — or
+      // with an in-flight request about to load it (function_inbound) —
+      // take the least loaded (lowest index on ties).  A queued request
+      // ahead of us could still evict the function, but
+      // residency-at-arrival is the cheap, driver-visible signal —
+      // mispredictions just cost one reconfiguration.
       for (unsigned i = 0; i < card_count(); ++i) {
         if (!shards_[i].card->mcu().is_resident(function) &&
             !shards_[i].server->function_inbound(function))
@@ -216,8 +233,12 @@ FleetStats CoprocessorFleet::stats() const {
     stats.total_fabric_wait += card.server.total_fabric_wait;
     stats.total_hidden_reconfig += card.server.total_hidden_reconfig;
     stats.overlapped_loads += card.server.overlapped_loads;
+    stats.batches += card.server.batches;
+    stats.coalesced_loads += card.server.coalesced_loads;
+    stats.total_amortized_reconfig += card.server.total_amortized_reconfig;
     stats.cards.push_back(std::move(card));
   }
+  stats.mean_batch_size = mean_batch_size(stats.batches, stats.coalesced_loads);
 
   // Fleet tickets plus anything submitted directly through an exposed
   // per-card server (its submitted count minus what we dispatched to it),

@@ -52,9 +52,12 @@ namespace aad::core {
 enum class DispatchPolicy {
   kRoundRobin,         ///< cards in cyclic order, ignoring state
   kLeastQueued,        ///< fewest in-flight requests (ties: lowest card)
-  kResidencyAffinity,  ///< a card where the function is already configured
-                       ///< or inbound on an in-flight request (ties:
-                       ///< least-queued among them), else least-queued
+  kResidencyAffinity,  ///< a card holding an OPEN batch for the function
+                       ///< (CoprocessorServer::open_batch_for — the request
+                       ///< joins the batch and shares its one decode+load),
+                       ///< else a card where the function is already
+                       ///< configured or inbound on an in-flight request
+                       ///< (ties: least-queued among them), else least-queued
 };
 
 const char* to_string(DispatchPolicy policy);
@@ -66,9 +69,11 @@ struct FleetConfig {
   /// fleets are a later PR; the dispatch seam is already here).
   CoprocessorConfig card;
   /// Per-card pipeline knobs: device-queue policy (FIFO / resident-first /
-  /// shortest-reconfiguration-first) and overlapped reconfiguration.  The
-  /// fleet dispatch policy and the device policy compose: dispatch picks
-  /// the card, the device scheduler orders that card's ready queue.
+  /// shortest-reconfiguration-first), overlapped reconfiguration, and the
+  /// same-function BatchPolicy (ServerConfig::batch).  The fleet dispatch
+  /// policy and the per-card policies compose: dispatch picks the card,
+  /// the device scheduler orders that card's ready queue, and the batch
+  /// policy coalesces same-function picks into shared-load batches.
   ServerConfig server;
 };
 
@@ -101,6 +106,11 @@ struct FleetStats {
   sim::SimTime total_fabric_wait;
   sim::SimTime total_hidden_reconfig;  ///< reconfig overlapped with execution
   std::uint64_t overlapped_loads = 0;
+  // Batch amortization, fleet-wide (see ServerStats):
+  std::uint64_t batches = 0;
+  std::uint64_t coalesced_loads = 0;
+  double mean_batch_size = 0.0;  ///< members per committed batch, fleet-wide
+  sim::SimTime total_amortized_reconfig;
   /// Residency-affinity accounting (zero under the other policies):
   std::uint64_t affinity_routed = 0;    ///< sent to a card holding the config
                                         ///< (resident, or inbound in flight)

@@ -58,7 +58,8 @@ CoprocessorServer::CoprocessorServer(AgileCoprocessor& card,
                                      const ServerConfig& config)
     : card_(card),
       config_(config),
-      device_scheduler_(make_device_scheduler(config.device_policy)) {}
+      device_scheduler_(make_device_scheduler(config.device_policy)),
+      batch_policy_(make_batch_policy(config.batch)) {}
 
 CoprocessorServer::Pending& CoprocessorServer::pending(std::uint64_t id) {
   const auto it = queue_.find(id);
@@ -171,20 +172,123 @@ void CoprocessorServer::pump_device() {
               "device scheduler picked out of range");
   }
   const std::uint64_t id = device_queue_[choice];
-  if (!serve_device(id)) {
-    // The pick may not take the engine while the fabric is busy (overlap
-    // refused).  It stays queued — later arrivals can still be reordered
-    // ahead of it — and the pump retries once the fabric frees.
+
+  // Batch formation: the scheduler chose WHICH function is served next;
+  // the batch policy decides whether to commit now and how many queued
+  // same-function requests ride along (sharing one decode + load).  The
+  // hold anchor survives across pumps as long as the pick stays on the
+  // same function, so a windowed policy's horizon is measured from the
+  // first time the function became the pick, not from the latest wake-up.
+  std::uint64_t leader = id;
+  memory::FunctionId function = pending(id).request.function;
+  std::vector<std::uint64_t> batch{id};
+  if (batch_policy_->kind() != BatchMode::kNone) {
+    // kNone always commits a batch of one, so the same-function queue
+    // scans below would only compute counts its decide() discards — skip
+    // them on what is every pre-batching configuration's hot path.
+    const auto view_for = [this](memory::FunctionId fn, sim::SimTime anchor) {
+      BatchView view;
+      view.function = fn;
+      for (const std::uint64_t ready_id : device_queue_)
+        if (pending(ready_id).request.function == fn) ++view.queued;
+      view.hold_since = anchor;
+      view.now = now();
+      return view;
+    };
+    // The horizon anchor is PER FUNCTION and survives the pick moving
+    // elsewhere (a resident-first scheduler can commit another function
+    // mid-hold): the window is measured from the first time the function
+    // became the pick, not from its latest re-pick.  The anchor retires
+    // when the function's batch commits.
+    const sim::SimTime anchor =
+        hold_anchors_.try_emplace(function, now()).first->second;
+    BatchDecision decision = batch_policy_->decide(view_for(function, anchor));
+    if (!decision.commit) {
+      AAD_CHECK(decision.reconsider_at > now(),
+                "batch policy held without a future reconsider time");
+      // The pick holds — but a DIFFERENT anchored function whose own
+      // horizon has already run out must not keep waiting for the pick to
+      // bounce back to it (a trickle of scheduler-preferred arrivals each
+      // opening a fresh hold would defer it unboundedly).  Ask the policy
+      // about every other anchored function: serve the oldest-anchored
+      // one that commits, and otherwise sleep until the EARLIEST
+      // reconsider time over all of them, so each hold expires on its own
+      // clock even while another function is the pick.
+      bool found = false;
+      sim::SimTime wake = decision.reconsider_at;
+      memory::FunctionId alt{};
+      sim::SimTime alt_anchor;
+      for (const auto& [fn, fn_anchor] : hold_anchors_) {
+        if (fn == function) continue;
+        const BatchView view = view_for(fn, fn_anchor);
+        if (view.queued == 0) continue;
+        const BatchDecision d = batch_policy_->decide(view);
+        if (!d.commit) {
+          AAD_CHECK(d.reconsider_at > now(),
+                    "batch policy held without a future reconsider time");
+          wake = std::min(wake, d.reconsider_at);
+          continue;
+        }
+        if (!found || fn_anchor < alt_anchor) {
+          found = true;
+          alt = fn;
+          alt_anchor = fn_anchor;
+          decision = d;
+        }
+      }
+      if (!found) {
+        schedule_pump(wake);
+        return;
+      }
+      function = alt;
+      bool leader_found = false;
+      for (const std::uint64_t ready_id : device_queue_)
+        if (pending(ready_id).request.function == function) {
+          leader = ready_id;
+          leader_found = true;
+          break;
+        }
+      AAD_CHECK(leader_found, "anchored function has no queued request");
+    }
+    AAD_CHECK(decision.limit >= 1, "batch policy committed an empty batch");
+    batch = collect_batch(leader, decision.limit);
+  }
+  if (!serve_batch(batch)) {
+    // The batch may not take the engine while the fabric is busy (overlap
+    // refused).  Every member stays queued — later arrivals can still be
+    // reordered ahead of them — and the pump retries once the fabric
+    // frees.  The function's hold anchor persists across the refusal, so
+    // a windowed horizon is not restarted and open_batch_for keeps
+    // advertising the still-forming batch to the fleet router.
     schedule_pump(fabric_free_);
     return;
   }
-  device_queue_.erase(device_queue_.begin() +
-                      static_cast<std::ptrdiff_t>(choice));
+  hold_anchors_.erase(function);
+  for (const std::uint64_t member : batch) std::erase(device_queue_, member);
   pump_device();  // the commit advanced engine_free_; wake up then
 }
 
-bool CoprocessorServer::serve_device(std::uint64_t id) {
-  Pending& p = pending(id);
+std::vector<std::uint64_t> CoprocessorServer::collect_batch(
+    std::uint64_t leader, std::size_t limit) const {
+  std::vector<std::uint64_t> batch{leader};
+  if (limit <= 1) return batch;
+  const memory::FunctionId function = queue_.at(leader).request.function;
+  // Leader first (the scheduler's pick), then the other same-function
+  // entries in arrival order.  With the built-in device policies the pick
+  // IS the earliest same-function entry, so the whole batch is in arrival
+  // order.
+  for (const std::uint64_t ready_id : device_queue_) {
+    if (batch.size() >= limit) break;
+    if (ready_id == leader) continue;
+    if (queue_.at(ready_id).request.function == function)
+      batch.push_back(ready_id);
+  }
+  return batch;
+}
+
+bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
+  AAD_CHECK(!batch.empty(), "serving an empty batch");
+  Pending& p = pending(batch.front());
   mcu::Mcu& mcu = card_.mcu();
   // The pump only fires once the engine is free, so the engine grant is
   // immediate (or the request defers without committing anything).
@@ -207,16 +311,23 @@ bool CoprocessorServer::serve_device(std::uint64_t id) {
   // can still reorder the queue meanwhile.
   std::vector<memory::FunctionId> pins;
   const bool fabric_busy = fabric_free_ > engine_start;
-  if (fabric_busy) {
-    if (!config_.overlap_reconfig) return false;
-    if (!mcu.is_resident(p.request.function)) {
-      for (const FabricCommitment& c : executing_)
-        if (std::find(pins.begin(), pins.end(), c.function) == pins.end())
-          pins.push_back(c.function);
-      PinGuard probe(mcu, pins);
-      if (!mcu.load_feasible(p.request.function)) return false;
-      // probe unpins; the real pins are re-applied around the load below.
-    }
+  if (fabric_busy && !config_.overlap_reconfig) return false;
+  // The probe must also run when the fabric looks free but a pin is still
+  // held: a previous batch's standing pin outlives its last fabric window
+  // by one same-timestamp event (the unpin fires AT fabric_free_, and the
+  // scheduler orders equal timestamps FIFO, so a device_ready enqueued
+  // before that batch committed runs first).  Skipping the probe there
+  // would send load_invoke into the eviction loop with the pin active and
+  // crash on a device where the pinned frames block placement, instead of
+  // deferring one event until the unpin retires the pin.
+  if (!mcu.is_resident(p.request.function) &&
+      (fabric_busy || mcu.pinned_count() > 0)) {
+    for (const FabricCommitment& c : executing_)
+      if (std::find(pins.begin(), pins.end(), c.function) == pins.end())
+        pins.push_back(c.function);
+    PinGuard probe(mcu, pins);
+    if (!mcu.load_feasible(p.request.function)) return false;
+    // probe unpins; the real pins are re-applied around the load below.
   }
   const sim::SimTime fabric_busy_until = fabric_free_;
 
@@ -263,8 +374,68 @@ bool CoprocessorServer::serve_device(std::uint64_t id) {
   engine_free_ = engine_end;
   fabric_free_ = fabric_start + run.time;
   executing_.push_back({fabric_free_, p.request.function});
-  card_.scheduler().schedule_at(fabric_free_,
-                                [this, id] { begin_pci_out(id); });
+  {
+    const std::uint64_t leader_id = batch.front();
+    card_.scheduler().schedule_at(
+        fabric_free_, [this, leader_id] { begin_pci_out(leader_id); });
+  }
+
+  // The coalesced members: no engine occupancy at all — they ride the
+  // leader's decode + load and run back-to-back fabric windows behind it.
+  const std::uint64_t batch_id = next_batch_id_++;
+  const memory::FunctionId function = p.request.function;
+  const sim::SimTime leader_prepare = p.request.prepare_time;
+  p.request.batch_id = batch_id;
+  p.request.batch_size = static_cast<std::uint32_t>(batch.size());
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    const std::uint64_t member_id = batch[i];
+    Pending& q = pending(member_id);
+    AAD_CHECK(q.request.function == function, "mixed-function batch");
+    q.request.batch_id = batch_id;
+    q.request.batch_size = static_cast<std::uint32_t>(batch.size());
+    q.request.coalesced_load = true;
+    // The member's load "commits" with the leader's: the function is
+    // resident (and pinned, below) for its window, so it is a hit with no
+    // engine time of its own; Mcu::is_resident carries the routing signal
+    // from here on, exactly as for the leader.
+    q.request.load.hit = true;
+    const auto member_inbound = inbound_.find(function);
+    AAD_CHECK(member_inbound != inbound_.end(),
+              "inbound accounting out of sync");
+    if (--member_inbound->second == 0) inbound_.erase(member_inbound);
+
+    q.request.device_start = engine_start;
+    q.request.engine_wait = engine_start - q.request.device_ready;
+    const sim::SimTime member_start = fabric_free_;
+    q.request.fabric_start = member_start;
+    q.request.fabric_wait = member_start - engine_end;
+    q.request.device_wait = q.request.engine_wait + q.request.fabric_wait;
+
+    mcu::ExecutedInvoke member_run =
+        mcu.execute_invoke(function, q.input, member_start);
+    q.request.execute_time = member_run.time;
+    q.request.exec_cycles = member_run.exec_cycles;
+    q.request.output = std::move(member_run.output);
+    Bytes().swap(q.input);
+
+    fabric_free_ = member_start + member_run.time;
+    executing_.push_back({fabric_free_, function});
+    card_.scheduler().schedule_at(
+        fabric_free_, [this, member_id] { begin_pci_out(member_id); });
+
+    ++coalesced_loads_;
+    amortized_reconfig_ += leader_prepare;
+  }
+
+  // A real batch keeps one pin reference on its function until the last
+  // window retires, so an overlapped load of another function streaming
+  // during the batch can never evict it between windows (Mcu pins are
+  // refcounted, so this composes with the per-load PinGuards above).
+  if (batch.size() > 1) {
+    mcu.pin(function);
+    card_.scheduler().schedule_at(
+        fabric_free_, [this, function] { card_.mcu().unpin(function); });
+  }
   return true;
 }
 
@@ -304,6 +475,10 @@ ServerStats CoprocessorServer::stats() const {
   ServerStats stats;
   stats.submitted = submitted_;
   stats.completed = completed_.size();
+  stats.batches = next_batch_id_;
+  stats.coalesced_loads = coalesced_loads_;
+  stats.total_amortized_reconfig = amortized_reconfig_;
+  stats.mean_batch_size = mean_batch_size(next_batch_id_, coalesced_loads_);
   if (completed_.empty()) return stats;
 
   sim::SimTime first_submit = completed_.front().submit_time;

@@ -27,6 +27,18 @@
 // overlap_reconfig is off — plus resident-first and
 // shortest-reconfiguration-first; see core/device_scheduler.h).
 //
+// On top of the scheduler's pick, a pluggable BatchPolicy
+// (core/batch_policy.h) coalesces queued SAME-FUNCTION requests into one
+// batch: the batch shares a single firmware decode and a single on-demand
+// load, then runs back-to-back fabric windows, so one reconfiguration is
+// amortized across every member.  The batch's function holds a pin
+// reference (mcu::Mcu::pin is refcounted) from load commit until its last
+// window retires, so overlapped loads of other functions can never evict
+// it mid-batch.  BatchMode::kNone (the default) serves every request as a
+// batch of one and is bit-exact with the unbatched server; kGreedy drains
+// the queue immediately; kWindowed holds commitment up to a horizon so
+// more same-function arrivals can coalesce.
+//
 // stats() reports per-request latency percentiles, throughput, and the wait
 // attribution split into bus/engine/fabric, plus the total reconfiguration
 // time hidden behind execution.  One server pipelines one card;
@@ -53,6 +65,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/batch_policy.h"
 #include "core/coprocessor.h"
 #include "core/device_scheduler.h"
 
@@ -89,6 +102,15 @@ struct ServerRequest {
   /// load was a hit, the fabric was idle, or overlap is disabled.
   sim::SimTime hidden_reconfig;
 
+  // Batch accounting (core/batch_policy.h).  Without batching every
+  // request is its own batch of one.
+  std::uint64_t batch_id = 0;    ///< device commit this request rode, dense
+  std::uint32_t batch_size = 1;  ///< members of that commit
+  /// True when this request shared a batch-mate's decode + load instead of
+  /// paying its own engine occupancy (decode_time and prepare_time are
+  /// zero; the load was the batch leader's).
+  bool coalesced_load = false;
+
   sim::SimTime latency() const noexcept { return complete_time - submit_time; }
 };
 
@@ -105,6 +127,17 @@ struct LatencySummary {
 /// CoprocessorFleet::stats().
 LatencySummary summarize_latencies(std::vector<sim::SimTime> latencies);
 
+/// Members per committed batch: every batch is one leader plus its
+/// coalesced followers, so the member total is batches + coalesced_loads.
+/// Zero when nothing committed.  Shared by CoprocessorServer::stats() and
+/// CoprocessorFleet::stats() so the two levels can never drift apart.
+inline double mean_batch_size(std::uint64_t batches,
+                              std::uint64_t coalesced_loads) noexcept {
+  if (batches == 0) return 0.0;
+  return static_cast<double>(batches + coalesced_loads) /
+         static_cast<double>(batches);
+}
+
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
@@ -117,6 +150,15 @@ struct ServerStats {
   sim::SimTime total_fabric_wait;    ///< load done, fabric still busy
   sim::SimTime total_hidden_reconfig;  ///< reconfig overlapped with execution
   std::uint64_t overlapped_loads = 0;  ///< loads that ran during execution
+  // Batch amortization (commit-time accounting: counts every committed
+  // batch and member, including ones whose PCI-out is still in flight).
+  std::uint64_t batches = 0;           ///< device commits (each >= 1 request)
+  std::uint64_t coalesced_loads = 0;   ///< members that shared the leader's
+                                       ///< decode + load
+  double mean_batch_size = 0.0;        ///< members per committed batch
+  /// Config-engine occupancy (decode + load) the coalesced members shared
+  /// instead of re-paying: the leader's prepare_time, once per follower.
+  sim::SimTime total_amortized_reconfig;
 };
 
 /// Per-server policy knobs.  The defaults (FIFO + overlap) serve requests
@@ -129,6 +171,10 @@ struct ServerConfig {
   /// another (frames permitting).  Off = decode+load+execute serialize per
   /// request, exactly the old one-busy-until-scalar device stage.
   bool overlap_reconfig = true;
+  /// Same-function request coalescing (core/batch_policy.h).  The default
+  /// (BatchMode::kNone) serves every request as a batch of one, bit-exact
+  /// with the unbatched server.
+  BatchConfig batch;
 };
 
 class CoprocessorServer {
@@ -182,6 +228,17 @@ class CoprocessorServer {
   bool function_inbound(memory::FunctionId function) const {
     return inbound_.contains(function);
   }
+  /// Is the device stage holding an OPEN batch for `function` — an
+  /// uncommitted coalescing opportunity (a windowed hold, or any batch the
+  /// fabric refused and will retry) that a new same-function arrival would
+  /// still join?  The fleet's residency-affinity router prefers such a
+  /// card over a merely-resident one: a request routed here joins the
+  /// batch and shares its single decode + load.  Always false under
+  /// BatchMode::kNone; under kGreedy only a refused-and-retrying batch is
+  /// ever observable (greedy commits the instant it picks).
+  bool open_batch_for(memory::FunctionId function) const {
+    return hold_anchors_.contains(function);
+  }
   const std::vector<ServerRequest>& completed() const noexcept {
     return completed_;
   }
@@ -204,7 +261,6 @@ class CoprocessorServer {
     sim::SimTime end;
     memory::FunctionId function;
   };
-
   void begin_pci_in(std::uint64_t id);
   void device_ready(std::uint64_t id);
   /// When the device could next START a request's engine window: the
@@ -220,12 +276,17 @@ class CoprocessorServer {
   /// Commit the policy's next pick to the engine + fabric; reschedules
   /// itself at the device's next-start instant while requests are waiting.
   void pump_device();
-  /// Plan `id`'s engine + fabric windows and mutate the MCU accordingly.
-  /// Returns false — nothing committed, the request stays queued — when
-  /// the fabric is busy and the request may not take the engine yet
+  /// Queued same-function batch mates of `leader` (the scheduler's pick),
+  /// leader first, the rest in arrival order, capped at `limit`.
+  std::vector<std::uint64_t> collect_batch(std::uint64_t leader,
+                                           std::size_t limit) const;
+  /// Plan the batch's shared engine window (leader decode + load) and its
+  /// back-to-back fabric windows, and mutate the MCU accordingly.
+  /// Returns false — nothing committed, every member stays queued — when
+  /// the fabric is busy and the leader may not take the engine yet
   /// (overlap disabled, or its load cannot avoid the pinned frames); the
   /// pump retries once the fabric frees, and can reorder around it.
-  bool serve_device(std::uint64_t id);
+  bool serve_batch(const std::vector<std::uint64_t>& batch);
   void begin_pci_out(std::uint64_t id);
   void complete(std::uint64_t id);
   Pending& pending(std::uint64_t id);
@@ -233,6 +294,7 @@ class CoprocessorServer {
   AgileCoprocessor& card_;
   ServerConfig config_;
   std::unique_ptr<DeviceScheduler> device_scheduler_;
+  std::unique_ptr<BatchPolicy> batch_policy_;
   std::map<std::uint64_t, Pending> queue_;  ///< in-flight, by request id
   std::vector<std::uint64_t> device_queue_;  ///< ready ids, arrival order
   /// In-flight requests whose load has not yet committed, by function.
@@ -243,8 +305,19 @@ class CoprocessorServer {
   sim::SimTime fabric_free_;         ///< fabric busy-until
   std::vector<FabricCommitment> executing_;  ///< fabric windows not yet over
   std::optional<sim::SimTime> pump_wake_;  ///< earliest pending pump event
+  /// When each queued function FIRST became the scheduler's pick: the
+  /// windowed policy's horizon anchors, kept across pick changes (a
+  /// non-FIFO device policy can commit other functions mid-hold) and
+  /// across fabric refusals, retired when the function's batch commits.
+  /// Every entry is an open batch (open_batch_for) a new same-function
+  /// arrival would join.
+  std::map<memory::FunctionId, sim::SimTime> hold_anchors_;
   std::vector<ServerRequest> completed_;
   std::uint64_t submitted_ = 0;
+  // Commit-time batch accounting (see ServerStats).
+  std::uint64_t next_batch_id_ = 0;
+  std::uint64_t coalesced_loads_ = 0;
+  sim::SimTime amortized_reconfig_;
 };
 
 }  // namespace aad::core

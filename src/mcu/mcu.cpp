@@ -75,10 +75,14 @@ std::vector<fabric::FrameIndex> Mcu::frames_of(memory::FunctionId id) const {
 
 void Mcu::pin(memory::FunctionId id) {
   AAD_REQUIRE(loaded_.contains(id), "pinning a non-resident function");
-  pinned_.insert(id);
+  ++pinned_[id];
 }
 
-void Mcu::unpin(memory::FunctionId id) { pinned_.erase(id); }
+void Mcu::unpin(memory::FunctionId id) {
+  const auto it = pinned_.find(id);
+  if (it == pinned_.end()) return;
+  if (--it->second == 0) pinned_.erase(it);
+}
 
 bool Mcu::load_feasible(memory::FunctionId id) const {
   if (loaded_.contains(id)) return true;  // hit: no frames touched
@@ -87,7 +91,7 @@ bool Mcu::load_feasible(memory::FunctionId id) const {
   // Limit state: every non-pinned resident evicted.  Only the pinned
   // functions' frames stay blocked; can the strategy place `id` then?
   std::vector<bool> blocked(free_list_.frame_count(), false);
-  for (const memory::FunctionId pinned : pinned_) {
+  for (const auto& [pinned, refs] : pinned_) {
     const auto it = loaded_.find(pinned);
     if (it == loaded_.end()) continue;
     for (const fabric::FrameIndex frame : it->second.frames)

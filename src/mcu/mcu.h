@@ -17,7 +17,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "fabric/fabric.h"
@@ -161,19 +160,32 @@ class Mcu {
   ExecutedInvoke execute_invoke(memory::FunctionId id, ByteSpan input,
                                 sim::SimTime start);
 
-  // --- pinning (overlapped reconfiguration) --------------------------------
+  // --- pinning (overlapped reconfiguration + batching) ---------------------
   // While the fabric executes function A, the server streams function B's
   // configuration through the engine.  Pinning A for the duration of B's
   // load_invoke keeps A out of the eviction loop, and — because allocation
   // only ever hands out free frames — guarantees B's frame set is disjoint
-  // from A's.  Pins are a host-driver concept: they cost no simulated time.
+  // from A's.  Pins are REFERENCE COUNTED: two independent holders (a
+  // request batch pinning its function across all of its back-to-back
+  // fabric windows, and an overlapped load pinning every executing
+  // function for its duration) can pin the same function, and it stays
+  // pinned until the last holder unpins.  Pins are a host-driver concept:
+  // they cost no simulated time.
 
-  /// Exclude a resident function from eviction (idempotent).
+  /// Exclude a resident function from eviction.  Each pin() call takes one
+  /// reference; the function is evictable again only when every reference
+  /// has been unpin()ned.
   void pin(memory::FunctionId id);
-  /// Re-admit a function to the eviction candidates (no-op if not pinned).
+  /// Release one pin reference (no-op if not pinned).
   void unpin(memory::FunctionId id);
   bool is_pinned(memory::FunctionId id) const { return pinned_.contains(id); }
+  /// Functions with at least one pin reference (not the reference total).
   std::size_t pinned_count() const noexcept { return pinned_.size(); }
+  /// Outstanding pin references on `id` (0 when unpinned).
+  unsigned pin_count(memory::FunctionId id) const {
+    const auto it = pinned_.find(id);
+    return it != pinned_.end() ? it->second : 0u;
+  }
 
   /// Could load_invoke(id) complete right now without evicting a pinned
   /// function?  True on a hit; on a miss, checks the limit state in which
@@ -250,7 +262,9 @@ class Mcu {
   std::unique_ptr<ReplacementPolicy> policy_;
   FrameReplacementTable table_;
   std::map<memory::FunctionId, LoadedFunction> loaded_;
-  std::set<memory::FunctionId> pinned_;  ///< excluded from eviction
+  /// Pin reference counts; a function present here (count >= 1) is
+  /// excluded from eviction.
+  std::map<memory::FunctionId, unsigned> pinned_;
   McuStats stats_;
 };
 

@@ -63,4 +63,49 @@ MultiClientTrace make_multi_client(const MultiClientConfig& config) {
   return trace;
 }
 
+MultiClientTrace make_bursty(const BurstyConfig& config) {
+  AAD_REQUIRE(!config.functions.empty(), "bursty trace needs a function bank");
+  AAD_REQUIRE(config.clients >= 1, "need at least one client");
+  AAD_REQUIRE(config.bursts >= 1, "need at least one burst per client");
+  AAD_REQUIRE(config.burst_size >= 1, "need at least one request per burst");
+
+  MultiClientTrace trace;
+  trace.mode = ArrivalMode::kOpenLoop;
+  trace.clients.resize(config.clients);
+
+  for (unsigned c = 0; c < config.clients; ++c) {
+    ClientTrace& ct = trace.clients[c];
+    ct.client = c;
+
+    // One draw per burst through the single-stream generators, so the
+    // burst-function popularity shapes match the replacement experiments
+    // exactly (and the ranking is shared across clients, which is what
+    // lets fleet affinity converge concurrent bursts).
+    TraceConfig tc;
+    tc.functions = config.functions;
+    tc.length = config.bursts;
+    tc.seed = config.seed * 1000003ull + c;
+    tc.payload_blocks = config.payload_blocks;
+    const Trace burst_functions = config.zipf_s > 0.0
+                                      ? make_zipf(tc, config.zipf_s)
+                                      : make_uniform(tc);
+
+    Prng arrivals(tc.seed ^ 0x5B5B5B5B5B5B5B5Bull);
+    sim::SimTime clock;  // running open-loop arrival time
+    ct.requests.reserve(config.bursts * config.burst_size);
+    for (const Request& burst : burst_functions) {
+      clock += exponential(arrivals, config.mean_inter_gap);
+      for (std::size_t i = 0; i < config.burst_size; ++i) {
+        if (i > 0) clock += exponential(arrivals, config.mean_intra_gap);
+        ClientRequest cr;
+        cr.function = burst.function;
+        cr.payload_blocks = burst.payload_blocks;
+        cr.offset = clock;
+        ct.requests.push_back(cr);
+      }
+    }
+  }
+  return trace;
+}
+
 }  // namespace aad::workload

@@ -71,4 +71,37 @@ struct MultiClientConfig {
 /// Deterministic in `config.seed`; each client gets an independent stream.
 MultiClientTrace make_multi_client(const MultiClientConfig& config);
 
+/// Bursty same-function traffic: the workload request batching feeds on.
+///
+/// Real accelerator traffic is rarely a uniform shuffle — a client that
+/// needs a kernel tends to need it many times in a row (a TLS handshake
+/// storm hitting RSA, a filter bank streaming FIR blocks).  Each client
+/// emits `bursts` bursts; a burst picks ONE function (Zipf-skewed when
+/// `zipf_s` > 0, shared popularity ranking across clients) and issues
+/// `burst_size` requests for it with short exponential intra-burst gaps,
+/// then pauses for a longer exponential inter-burst gap before the next
+/// burst.  Arrivals are open-loop absolute offsets, so concurrent bursts
+/// from different clients interleave at the card — exactly the arrival
+/// pattern where same-function batching pays and an unbatched FIFO device
+/// stage thrashes its configuration state.
+struct BurstyConfig {
+  unsigned clients = 4;
+  std::size_t bursts = 8;             ///< bursts per client
+  std::size_t burst_size = 8;         ///< requests per burst
+  std::vector<FunctionId> functions;  ///< burst-function bank
+  std::uint64_t seed = 1;
+  std::size_t payload_blocks = 1;
+  /// Burst-function popularity skew: 0 = uniform, > 0 = Zipf(s).
+  double zipf_s = 0.0;
+  /// Mean exponential gap between requests INSIDE a burst (small: the
+  /// burst arrives nearly back-to-back).
+  sim::SimTime mean_intra_gap = sim::SimTime::us(5);
+  /// Mean exponential gap BETWEEN bursts of one client.
+  sim::SimTime mean_inter_gap = sim::SimTime::us(400);
+};
+
+/// Deterministic in `config.seed`; returns an open-loop MultiClientTrace,
+/// so workload::replay drives it through a server or fleet unchanged.
+MultiClientTrace make_bursty(const BurstyConfig& config);
+
 }  // namespace aad::workload

@@ -220,10 +220,13 @@ TEST(MatmulTest, MatchesNaiveOnRandom) {
   const auto c = matmul(a, b, n);
   for (std::size_t i = 0; i < n; ++i)
     for (std::size_t j = 0; j < n; ++j) {
-      std::int32_t expect = 0;
+      // The reference accumulator wraps at 32 bits like the hardware MAC
+      // (unsigned arithmetic keeps the wrap well-defined).
+      std::uint32_t expect = 0;
       for (std::size_t k = 0; k < n; ++k)
-        expect += static_cast<std::int32_t>(a[i * n + k]) * b[k * n + j];
-      EXPECT_EQ(c[i * n + j], expect);
+        expect += static_cast<std::uint32_t>(
+            static_cast<std::int32_t>(a[i * n + k]) * b[k * n + j]);
+      EXPECT_EQ(c[i * n + j], static_cast<std::int32_t>(expect));
     }
 }
 

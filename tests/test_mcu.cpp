@@ -463,6 +463,33 @@ TEST_F(McuFixture, PinnedFunctionsRejectEvictAndDefragment) {
   EXPECT_THROW(mcu_.pin(fid), Error);            // pinning needs residency
 }
 
+TEST_F(McuFixture, PinReferencesCompose) {
+  // Two independent holders — a request batch spanning several fabric
+  // windows, and an overlapped load's PinGuard — pin the same function;
+  // the function stays pinned until BOTH release (refcounted, not a set).
+  provision(KernelId::kAdder32);
+  const auto fid = algorithms::function_id(KernelId::kAdder32);
+  mcu_.ensure_loaded(fid);
+
+  mcu_.pin(fid);    // the batch's reference
+  mcu_.pin(fid);    // an overlapped load's guard
+  EXPECT_EQ(mcu_.pin_count(fid), 2u);
+  EXPECT_EQ(mcu_.pinned_count(), 1u);  // one function, two references
+
+  mcu_.unpin(fid);  // the guard releases when the load commits
+  EXPECT_TRUE(mcu_.is_pinned(fid));    // the batch still holds it
+  EXPECT_EQ(mcu_.pin_count(fid), 1u);
+  EXPECT_THROW(mcu_.evict(fid), Error);
+
+  mcu_.unpin(fid);  // the batch's last window retires
+  EXPECT_FALSE(mcu_.is_pinned(fid));
+  EXPECT_EQ(mcu_.pin_count(fid), 0u);
+  mcu_.unpin(fid);  // over-release is a harmless no-op
+  EXPECT_EQ(mcu_.pin_count(fid), 0u);
+  mcu_.evict(fid);  // evictable again
+  EXPECT_FALSE(mcu_.is_resident(fid));
+}
+
 TEST_F(McuFixture, LoadFeasibleHonorsPinnedLimitState) {
   // Fill the device, pin everything: no load can be placed.  Unpin one
   // function and the load becomes feasible again (its frames could be
