@@ -129,6 +129,22 @@ void policy_shootout() {
                       stats.hit_rate);
     bench::json().set(std::string("fleet_throughput_rps_") + row.key,
                       stats.throughput_rps);
+    if (row.policy == core::DispatchPolicy::kResidencyAffinity) {
+      // Load-cost telemetry (fleet-wide MCU counters).  Delta
+      // reconfiguration is off under the default card config, so
+      // delta-routed and frames-skipped pin at zero here — bench_codec C4
+      // exercises the cheap-delta tier; bytes_streamed tracks the ROM
+      // traffic misses actually paid for.
+      std::printf("(affinity telemetry: %llu bytes streamed from ROM, "
+                  "%llu delta-matched frames skipped, %llu delta-routed)\n",
+                  static_cast<unsigned long long>(stats.bytes_streamed),
+                  static_cast<unsigned long long>(stats.frames_skipped_delta),
+                  static_cast<unsigned long long>(stats.delta_routed));
+      bench::json().set("fleet_bytes_streamed", stats.bytes_streamed);
+      bench::json().set("fleet_frames_skipped_delta",
+                        stats.frames_skipped_delta);
+      bench::json().set("fleet_delta_routed", stats.delta_routed);
+    }
   }
 }
 

@@ -54,11 +54,11 @@ void end_to_end_reconfig_by_codec() {
                    widths);
   bench::print_rule(widths);
 
-  for (const auto codec :
-       {compress::CodecId::kNull, compress::CodecId::kRle,
-        compress::CodecId::kLzss, compress::CodecId::kHuffman,
-        compress::CodecId::kGolomb, compress::CodecId::kFrameDelta,
-        compress::CodecId::kDeltaGolomb}) {
+  // `--codec` narrows the sweep to one codec ("auto" lets the MCU pick at
+  // download time); a bare run regenerates the full table.
+  std::vector<compress::CodecId> codecs = compress::all_codec_ids();
+  if (const auto pick = bench::codec_flag()) codecs = {*pick};
+  for (const auto codec : codecs) {
     // Fresh card per codec so ROM layout is identical.
     core::AgileCoprocessor cp;
     const auto record = cp.download(algorithms::KernelId::kAes128, codec);
@@ -70,7 +70,8 @@ void end_to_end_reconfig_by_codec() {
         cp.mcu().rom(), record, targets, scratch, memory::RomTiming{},
         nullptr, sim::SimTime::zero());
     bench::print_row(
-        {to_string(codec), bench::fmt("%.1f", result.total.microseconds()),
+        {to_string(record.codec),
+         bench::fmt("%.1f", result.total.microseconds()),
          bench::fmt("%.1f", result.rom_bound.microseconds()),
          bench::fmt("%.1f", result.decompress_bound.microseconds()),
          bench::fmt("%.1f", result.config_bound.microseconds()),

@@ -59,9 +59,12 @@ void provisioning_time_table() {
   const std::vector<int> widths = {14, 14, 14, 14};
   bench::print_row({"codec", "rom bytes", "pci(ms)", "total(ms)"}, widths);
   bench::print_rule(widths);
-  for (const auto codec :
-       {compress::CodecId::kNull, compress::CodecId::kLzss,
-        compress::CodecId::kFrameDelta}) {
+  // `--codec` narrows the table to one codec ("auto" = per-function pick).
+  std::vector<compress::CodecId> codecs = {compress::CodecId::kNull,
+                                           compress::CodecId::kLzss,
+                                           compress::CodecId::kFrameDelta};
+  if (const auto pick = bench::codec_flag()) codecs = {*pick};
+  for (const auto codec : codecs) {
     core::AgileCoprocessor cp;
     const auto t0 = cp.now();
     cp.download_all(codec);

@@ -12,12 +12,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "algorithms/kernels.h"
+#include "common/error.h"
+#include "compress/codec.h"
 
 namespace aad::bench {
 
@@ -253,6 +256,23 @@ class Flags {
 inline Flags& flags() {
   static Flags instance;
   return instance;
+}
+
+/// Shared `--codec=<name|auto>` flag: the codec a bench downloads with.
+/// Returns nullopt when unset (each bench keeps its documented default);
+/// "auto" maps to compress::CodecId::kAuto, which makes the MCU
+/// trial-compress the candidates and pick per function at download time.
+/// Unknown names are fatal, like any other malformed flag value.
+inline std::optional<compress::CodecId> codec_flag() {
+  const std::string name = flags().get("codec", "");
+  if (name.empty()) return std::nullopt;
+  try {
+    return compress::codec_from_string(name);
+  } catch (const Error&) {
+    std::fprintf(stderr, "--codec expects a codec name or \"auto\", got \"%s\"\n",
+                 name.c_str());
+    std::exit(2);
+  }
 }
 
 }  // namespace aad::bench

@@ -28,12 +28,17 @@ int main() {
   namespace core = aad::core;
   namespace workload = aad::workload;
 
-  // 1. One card, one ROM, a mixed service catalog.
-  core::AgileCoprocessor card;
+  // 1. One card, one ROM, a mixed service catalog.  Delta reconfiguration
+  //    tracks per-frame fabric content so a reload pays only for changed
+  //    frames; kAuto lets the MCU pick each function's codec at download
+  //    time (trial-compress, model the cold load, choose).
+  core::CoprocessorConfig cc;
+  cc.mcu.engine.delta_reconfig = true;
+  core::AgileCoprocessor card(cc);
   const std::vector<KernelId> mix = {KernelId::kAes128, KernelId::kSha256,
                                      KernelId::kFir16, KernelId::kFft,
                                      KernelId::kCrc32, KernelId::kMd5};
-  for (KernelId id : mix) card.download(id);
+  for (KernelId id : mix) card.download(id, aad::compress::CodecId::kAuto);
   std::printf("provisioned %zu functions; fabric holds %u frames\n",
               mix.size(), card.fabric().geometry().frame_count);
 
@@ -109,6 +114,15 @@ int main() {
               static_cast<unsigned long long>(device.invocations),
               static_cast<unsigned long long>(device.config_misses),
               static_cast<unsigned long long>(device.evictions));
+  std::printf("delta reconfiguration: %llu frames skipped by the content "
+              "tracker; %llu compressed bytes streamed from ROM\n",
+              static_cast<unsigned long long>(stats.frames_skipped_delta),
+              static_cast<unsigned long long>(stats.bytes_streamed));
+  std::printf("auto codec picks:");
+  for (const auto& [codec, picks] : stats.codec_picks)
+    std::printf("  %s x%llu", to_string(codec),
+                static_cast<unsigned long long>(picks));
+  std::puts("");
   std::printf("PCI: %llu DMA grants, %llu had to queue (%.1f us total "
               "arbitration wait)\n",
               static_cast<unsigned long long>(card.bus().stats().grants),

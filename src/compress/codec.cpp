@@ -13,8 +13,16 @@ const char* to_string(CodecId id) noexcept {
     case CodecId::kGolomb: return "golomb";
     case CodecId::kFrameDelta: return "frame-delta";
     case CodecId::kDeltaGolomb: return "delta-golomb";
+    case CodecId::kAuto: return "auto";
   }
   return "?";
+}
+
+CodecId codec_from_string(const std::string& name) {
+  if (name == "auto") return CodecId::kAuto;
+  for (const CodecId id : all_codec_ids())
+    if (name == to_string(id)) return id;
+  AAD_FAIL(ErrorCode::kInvalidArgument, "unknown codec name: " + name);
 }
 
 Bytes Codec::decompress(ByteSpan compressed) const {
@@ -47,6 +55,9 @@ std::unique_ptr<Codec> make_codec(CodecId id, std::size_t frame_bytes) {
     case CodecId::kDeltaGolomb:
       AAD_REQUIRE(frame_bytes > 0, "delta-golomb codec needs frame_bytes");
       return detail::make_delta_golomb(frame_bytes);
+    case CodecId::kAuto:
+      AAD_FAIL(ErrorCode::kInvalidArgument,
+               "kAuto is a selection policy, not a codec");
   }
   AAD_FAIL(ErrorCode::kInvalidArgument, "unknown codec id");
 }

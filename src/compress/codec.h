@@ -32,9 +32,16 @@ enum class CodecId : std::uint8_t {
   kDeltaGolomb = 6,///< XOR with previous frame, then Rice-coded zero runs
                    ///< (the open problem pushed further; see
                    ///< bench_compression's ablation)
+  kAuto = 255,     ///< not a codec: provisioning-time sentinel asking the
+                   ///< MCU to trial-compress with every real codec and pick
+                   ///< the one with the cheapest modeled load (mcu::Mcu)
 };
 
 const char* to_string(CodecId id) noexcept;
+
+/// Inverse of to_string, accepting every real codec name plus "auto".
+/// Throws ErrorCode::kInvalidArgument on an unknown name.
+CodecId codec_from_string(const std::string& name);
 
 /// Pull-based decompressor.  read() fills as much of `out` as it can and
 /// returns the byte count produced; 0 means end of stream.
@@ -68,9 +75,11 @@ class Codec {
 
 /// Factory.  `frame_bytes` parameterizes kFrameDelta and kDeltaGolomb (the
 /// window/frame size of the target device); other codecs ignore it.
+/// kAuto is a selection policy, not a codec — asking for it throws.
 std::unique_ptr<Codec> make_codec(CodecId id, std::size_t frame_bytes = 0);
 
-/// All codec ids, in presentation order for experiments.
+/// All real codec ids (kAuto excluded), in presentation order for
+/// experiments — and the candidate set the auto pick chooses from.
 std::vector<CodecId> all_codec_ids();
 
 /// MCU-side decompression cost model (configuration-module cycles per

@@ -36,7 +36,7 @@ class ShortestReconfigFirstScheduler final : public DeviceScheduler {
     AAD_CHECK(!queue.empty(), "picking from an empty device queue");
     std::size_t best = 0;
     for (std::size_t i = 1; i < queue.size(); ++i)
-      if (queue[i].reconfig_frames < queue[best].reconfig_frames) best = i;
+      if (queue[i].reconfig_cost < queue[best].reconfig_cost) best = i;
     return best;  // strict < keeps ties on the earliest arrival
   }
 };

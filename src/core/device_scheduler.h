@@ -14,8 +14,11 @@
 //     firmware decode, so letting them jump the queue keeps the fabric fed
 //     while the misses' reconfigurations are batched behind them;
 //   * shortest-reconfiguration-first — SJF on the reconfiguration estimate
-//     (resident = 0, miss = the function's ROM frame footprint): minimizes
-//     mean engine occupancy ahead of any given request.
+//     (resident = 0; miss = the card's modeled load cost, which under
+//     delta reconfiguration sees through to the dirty-frame count via
+//     Mcu::estimated_load_cost, and otherwise reduces to the function's
+//     ROM frame footprint): minimizes mean engine occupancy ahead of any
+//     given request.
 //
 // Both reordering policies are deliberately simple and can starve a cold
 // request under a steady stream of resident traffic (classic SJF
@@ -52,6 +55,11 @@ struct DeviceQueueEntry {
   sim::SimTime ready;                ///< input DMA completed (arrival order)
   bool resident = false;             ///< configuration currently on the fabric
   unsigned reconfig_frames = 0;      ///< 0 when resident; ROM footprint else
+  /// The SJF ordering key: zero when resident.  Without a load-cost model
+  /// the server fills frames-as-picoseconds (a monotone map of the old
+  /// footprint key, so orderings are unchanged); with delta reconfiguration
+  /// it is the card's real modeled load cost.
+  sim::SimTime reconfig_cost;
 };
 
 class DeviceScheduler {

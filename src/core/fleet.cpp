@@ -18,7 +18,7 @@ const char* to_string(DispatchPolicy policy) {
 }
 
 CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
-    : policy_(config.policy) {
+    : policy_(config.policy), cost_routing_(config.cost_routing) {
   AAD_REQUIRE(config.cards >= 1, "a fleet needs at least one card");
   shards_.reserve(config.cards);
   for (unsigned i = 0; i < config.cards; ++i) {
@@ -97,8 +97,9 @@ unsigned CoprocessorFleet::least_queued() const {
 }
 
 unsigned CoprocessorFleet::choose(memory::FunctionId function,
-                                  bool& affinity_hit) const {
+                                  bool& affinity_hit, bool& delta_hit) const {
   affinity_hit = false;
+  delta_hit = false;
   switch (policy_) {
     case DispatchPolicy::kRoundRobin:
       return static_cast<unsigned>(rr_cursor_ % shards_.size());
@@ -140,25 +141,61 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
           found = true;
         }
       }
-      affinity_hit = found;
-      return found ? best : least_queued();
+      if (found) {
+        affinity_hit = true;
+        return best;
+      }
+      // Third tier: no card holds the function, but under delta
+      // reconfiguration a cold load is not uniformly expensive — a card
+      // whose fabric still carries frames matching the function's image
+      // (an earlier variant, an evicted copy) reloads only the dirty
+      // frames.  Route to the cheapest modeled load among cards matching
+      // at least one frame (ties: least in flight, then lowest index).
+      // Inert when delta tracking is off: no card ever matches a frame.
+      if (cost_routing_) {
+        sim::SimTime best_cost;
+        for (unsigned i = 0; i < card_count(); ++i) {
+          const mcu::Mcu& mcu = shards_[i].card->mcu();
+          if (!mcu.config().engine.delta_reconfig) continue;
+          const mcu::LoadEstimate est = mcu.estimate_load(function);
+          if (!est.known || est.frames_matched == 0) continue;
+          if (!found || est.time < best_cost ||
+              (est.time == best_cost &&
+               shards_[i].server->in_flight() <
+                   shards_[best].server->in_flight())) {
+            best = i;
+            best_cost = est.time;
+            found = true;
+          }
+        }
+        if (found) {
+          delta_hit = true;
+          return best;
+        }
+      }
+      return least_queued();
     }
   }
   return 0;
 }
 
 unsigned CoprocessorFleet::preview_card(memory::FunctionId function) const {
-  bool affinity_hit = false;
-  return choose(function, affinity_hit);
+  bool affinity_hit = false, delta_hit = false;
+  return choose(function, affinity_hit, delta_hit);
 }
 
 unsigned CoprocessorFleet::route(memory::FunctionId function) {
-  bool affinity_hit = false;
-  const unsigned card = choose(function, affinity_hit);
+  bool affinity_hit = false, delta_hit = false;
+  const unsigned card = choose(function, affinity_hit, delta_hit);
   if (policy_ == DispatchPolicy::kRoundRobin) {
     ++rr_cursor_;
   } else if (policy_ == DispatchPolicy::kResidencyAffinity) {
-    affinity_hit ? ++affinity_routed_ : ++affinity_fallback_;
+    if (affinity_hit)
+      ++affinity_routed_;
+    else if (delta_hit)
+      ++delta_routed_;
+    else
+      ++affinity_fallback_;
   }
   return card;
 }
@@ -196,6 +233,7 @@ std::uint64_t CoprocessorFleet::in_flight() const {
 FleetStats CoprocessorFleet::stats() const {
   FleetStats stats;
   stats.affinity_routed = affinity_routed_;
+  stats.delta_routed = delta_routed_;
   stats.affinity_fallback = affinity_fallback_;
   stats.cards.reserve(shards_.size());
 
@@ -236,6 +274,10 @@ FleetStats CoprocessorFleet::stats() const {
     stats.batches += card.server.batches;
     stats.coalesced_loads += card.server.coalesced_loads;
     stats.total_amortized_reconfig += card.server.total_amortized_reconfig;
+    stats.frames_skipped_delta += card.server.frames_skipped_delta;
+    stats.bytes_streamed += card.server.bytes_streamed;
+    for (const auto& [codec, picks] : card.server.codec_picks)
+      stats.codec_picks[codec] += picks;
     stats.cards.push_back(std::move(card));
   }
   stats.mean_batch_size = mean_batch_size(stats.batches, stats.coalesced_loads);

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -52,12 +53,17 @@ namespace aad::core {
 enum class DispatchPolicy {
   kRoundRobin,         ///< cards in cyclic order, ignoring state
   kLeastQueued,        ///< fewest in-flight requests (ties: lowest card)
-  kResidencyAffinity,  ///< a card holding an OPEN batch for the function
-                       ///< (CoprocessorServer::open_batch_for — the request
-                       ///< joins the batch and shares its one decode+load),
-                       ///< else a card where the function is already
-                       ///< configured or inbound on an in-flight request
-                       ///< (ties: least-queued among them), else least-queued
+  kResidencyAffinity,  ///< tiered: a card holding an OPEN batch for the
+                       ///< function (CoprocessorServer::open_batch_for — the
+                       ///< request joins the batch and shares its one
+                       ///< decode+load), else a card where the function is
+                       ///< already configured or inbound on an in-flight
+                       ///< request (ties: least-queued among them), else —
+                       ///< when delta reconfiguration tracks frame contents
+                       ///< and FleetConfig::cost_routing is on — the card
+                       ///< with the cheapest modeled load among those
+                       ///< matching at least one frame
+                       ///< (Mcu::estimate_load), else least-queued
 };
 
 const char* to_string(DispatchPolicy policy);
@@ -75,6 +81,13 @@ struct FleetConfig {
   /// the device scheduler orders that card's ready queue, and the batch
   /// policy coalesces same-function picks into shared-load batches.
   ServerConfig server;
+  /// kResidencyAffinity only: enable the cheap-delta tier — when no card
+  /// holds (or is loading) the function, route to the card whose delta
+  /// tracker predicts the cheapest load instead of merely the shortest
+  /// queue.  Inert unless the cards run with engine.delta_reconfig on;
+  /// turn it off to compare binary residency-affinity against
+  /// cheapest-expected-reconfig routing (bench_codec does).
+  bool cost_routing = true;
 };
 
 /// One card's view of the fleet, captured by CoprocessorFleet::stats().
@@ -111,9 +124,17 @@ struct FleetStats {
   std::uint64_t coalesced_loads = 0;
   double mean_batch_size = 0.0;  ///< members per committed batch, fleet-wide
   sim::SimTime total_amortized_reconfig;
+  // Load-cost telemetry, fleet-wide (summed over the cards' MCU counters;
+  // see ServerStats):
+  std::uint64_t frames_skipped_delta = 0;
+  std::uint64_t bytes_streamed = 0;
+  std::map<compress::CodecId, std::uint64_t> codec_picks;
   /// Residency-affinity accounting (zero under the other policies):
   std::uint64_t affinity_routed = 0;    ///< sent to a card holding the config
                                         ///< (resident, or inbound in flight)
+  std::uint64_t delta_routed = 0;       ///< cheap-delta tier: sent to the
+                                        ///< card with the cheapest modeled
+                                        ///< load (partial frame match)
   std::uint64_t affinity_fallback = 0;  ///< no card held or was loading it:
                                         ///< least-queued
   std::vector<FleetCardStats> cards;    ///< per-card breakdown, by index
@@ -202,19 +223,22 @@ class CoprocessorFleet {
   };
 
   unsigned least_queued() const;
-  unsigned choose(memory::FunctionId function, bool& affinity_hit) const;
+  unsigned choose(memory::FunctionId function, bool& affinity_hit,
+                  bool& delta_hit) const;
   /// preview_card + the state updates (cursor, affinity counters).
   unsigned route(memory::FunctionId function);
   void dispatch(unsigned client, memory::FunctionId function, Bytes input,
                 Completion done);
 
   DispatchPolicy policy_;
+  bool cost_routing_;
   sim::Scheduler scheduler_;
   std::vector<Shard> shards_;
   std::uint64_t next_ticket_ = 0;
   std::uint64_t undispatched_ = 0;  ///< scheduled arrivals not yet routed
   std::uint64_t rr_cursor_ = 0;
   std::uint64_t affinity_routed_ = 0;
+  std::uint64_t delta_routed_ = 0;
   std::uint64_t affinity_fallback_ = 0;
 };
 

@@ -155,6 +155,13 @@ void CoprocessorServer::pump_device() {
     std::vector<DeviceQueueEntry> entries;
     entries.reserve(device_queue_.size());
     const mcu::Mcu& mcu = card_.mcu();
+    // SJF's ordering key: the real modeled load cost once the card tracks
+    // frame contents (delta reconfiguration), else frames-as-picoseconds —
+    // a monotone map of the footprint, so orderings (and ties) are exactly
+    // the old frame-count SJF's.
+    const bool cost_model =
+        device_scheduler_->kind() == DevicePolicy::kShortestReconfigFirst &&
+        mcu.config().engine.delta_reconfig;
     for (const std::uint64_t ready_id : device_queue_) {
       const Pending& p = pending(ready_id);
       DeviceQueueEntry entry;
@@ -165,6 +172,9 @@ void CoprocessorServer::pump_device() {
       if (!entry.resident)
         if (const auto record = mcu.rom().lookup(entry.function))
           entry.reconfig_frames = record->frames;
+      entry.reconfig_cost = cost_model
+                                ? mcu.estimated_load_cost(entry.function)
+                                : sim::SimTime::ps(entry.reconfig_frames);
       entries.push_back(entry);
     }
     choice = device_scheduler_->pick(entries);
@@ -193,6 +203,7 @@ void CoprocessorServer::pump_device() {
         if (pending(ready_id).request.function == fn) ++view.queued;
       view.hold_since = anchor;
       view.now = now();
+      view.est_load_cost = card_.mcu().estimated_load_cost(fn);
       return view;
     };
     // The horizon anchor is PER FUNCTION and survives the pick moving
@@ -479,6 +490,10 @@ ServerStats CoprocessorServer::stats() const {
   stats.coalesced_loads = coalesced_loads_;
   stats.total_amortized_reconfig = amortized_reconfig_;
   stats.mean_batch_size = mean_batch_size(next_batch_id_, coalesced_loads_);
+  const mcu::McuStats& device = card_.mcu().stats();
+  stats.frames_skipped_delta = device.frames_skipped_delta;
+  stats.bytes_streamed = device.compressed_bytes_streamed;
+  stats.codec_picks = device.codec_picks;
   if (completed_.empty()) return stats;
 
   sim::SimTime first_submit = completed_.front().submit_time;

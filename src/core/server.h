@@ -159,6 +159,13 @@ struct ServerStats {
   /// Config-engine occupancy (decode + load) the coalesced members shared
   /// instead of re-paying: the leader's prepare_time, once per follower.
   sim::SimTime total_amortized_reconfig;
+  // Load-cost telemetry, mirrored from the card's MCU counters (so the
+  // fleet can merge it per shard): frames the delta tracker skipped,
+  // compressed bytes actually fetched from ROM by loads, and which codec
+  // each stored function ended up with (the auto pick's record).
+  std::uint64_t frames_skipped_delta = 0;
+  std::uint64_t bytes_streamed = 0;
+  std::map<compress::CodecId, std::uint64_t> codec_picks;
 };
 
 /// Per-server policy knobs.  The defaults (FIFO + overlap) serve requests

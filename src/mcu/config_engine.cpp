@@ -6,6 +6,15 @@
 
 namespace aad::mcu {
 
+std::uint64_t window_content_hash(ByteSpan window) noexcept {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (const Byte b : window) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;  // 0 is the frame table's "unknown" sentinel
+}
+
 ConfigureResult ConfigEngine::configure(
     const memory::RomImage& rom, const memory::RomRecord& record,
     std::span<const fabric::FrameIndex> targets, fabric::Fabric& fabric,
@@ -43,6 +52,12 @@ ConfigureResult ConfigEngine::configure(
   const sim::SimTime dec_t = config_.engine_clock.cycles(
       static_cast<std::int64_t>(cpb * static_cast<double>(frame_bytes)));
   const sim::SimTime cfg_t = fabric.port().frame_time(geometry);
+  const sim::SimTime check_t = config_.engine_clock.cycles(
+      static_cast<std::int64_t>(config_.delta_check_cycles));
+
+  const bool delta = config_.delta_reconfig;
+  if (delta && frame_hashes_.size() < geometry.frame_count)
+    frame_hashes_.resize(geometry.frame_count, 0);
 
   ConfigureResult result;
   result.compressed_bytes = compressed.size();
@@ -67,32 +82,54 @@ ConfigureResult ConfigEngine::configure(
     }
     const auto words = bitstream::bytes_to_words(window);
 
-    // Difference-based flow: skip the port write if the frame already holds
-    // exactly this configuration (readback compare).
-    bool skip = false;
-    if (config_.difference_based) {
+    // Delta flow: the frame table says this frame already holds exactly
+    // this window — verified by readback compare (hash-collision
+    // insurance).  The window's compressed span is never fetched or
+    // decoded; only the table lookup costs anything.
+    bool delta_skip = false;
+    std::uint64_t wh = 0;
+    if (delta) {
+      wh = window_content_hash(window);
+      if (frame_hashes_[targets[w]] == wh) {
+        const auto current = fabric.memory().read_frame(targets[w]);
+        delta_skip = std::equal(words.begin(), words.end(), current.begin());
+      }
+    }
+    // Difference-based flow (XAPP290): readback compare skips only the
+    // port write — the window still streams and decodes.
+    bool skip = delta_skip;
+    if (!skip && config_.difference_based) {
       const auto current = fabric.memory().read_frame(targets[w]);
       skip = std::equal(words.begin(), words.end(), current.begin());
     }
+    sim::SimTime this_rom_t = rom_t;
+    sim::SimTime this_dec_t = dec_t;
     sim::SimTime this_cfg_t = cfg_t;
-    if (skip) {
+    if (delta_skip) {
+      ++result.frames_skipped;
+      ++result.frames_skipped_delta;
+      this_rom_t = sim::SimTime::zero();
+      this_dec_t = check_t;
+      this_cfg_t = sim::SimTime::zero();
+    } else if (skip) {
       ++result.frames_skipped;
       this_cfg_t = config_.engine_clock.cycles(static_cast<std::int64_t>(
           config_.compare_cycles_per_byte * static_cast<double>(frame_bytes)));
     } else {
       fabric.configure_frame(targets[w], words);
     }
+    if (delta) frame_hashes_[targets[w]] = wh;
 
     // Timing: stage chaining.
     const sim::SimTime rom_begin = rom_done;
-    rom_done = rom_done + rom_t;
+    rom_done = rom_done + this_rom_t;
     const sim::SimTime dec_begin = std::max(rom_done, dec_done);
-    dec_done = dec_begin + dec_t;
+    dec_done = dec_begin + this_dec_t;
     const sim::SimTime cfg_begin = std::max(dec_done, cfg_done);
     cfg_done = cfg_begin + this_cfg_t;
 
-    result.rom_bound += rom_t;
-    result.decompress_bound += dec_t;
+    result.rom_bound += this_rom_t;
+    result.decompress_bound += this_dec_t;
     result.config_bound += this_cfg_t;
 
     if (trace) {
@@ -112,7 +149,41 @@ ConfigureResult ConfigEngine::configure(
 
   result.total = cfg_done - start;
   result.frames_written = windows - result.frames_skipped;
+  result.bytes_streamed =
+      std::min(compressed.size(),
+               (windows - result.frames_skipped_delta) * rom_bytes_per_window);
   return result;
+}
+
+sim::SimTime ConfigEngine::estimate_time(std::size_t compressed_bytes,
+                                         unsigned frames,
+                                         compress::CodecId codec,
+                                         std::size_t frame_bytes,
+                                         sim::SimTime frame_time,
+                                         const memory::RomTiming& rom_timing,
+                                         const std::vector<bool>& skip) const {
+  const std::size_t windows = frames;
+  if (windows == 0) return sim::SimTime::zero();
+  const std::size_t rom_bytes_per_window =
+      (compressed_bytes + windows - 1) / windows;
+  const sim::SimTime rom_t = rom_timing.read_time(rom_bytes_per_window);
+  const double cpb = compress::decompress_cycles_per_byte(codec);
+  const sim::SimTime dec_t = config_.engine_clock.cycles(
+      static_cast<std::int64_t>(cpb * static_cast<double>(frame_bytes)));
+  const sim::SimTime check_t = config_.engine_clock.cycles(
+      static_cast<std::int64_t>(config_.delta_check_cycles));
+
+  sim::SimTime rom_done = sim::SimTime::zero();
+  sim::SimTime dec_done = sim::SimTime::zero();
+  sim::SimTime cfg_done = sim::SimTime::zero();
+  for (std::size_t w = 0; w < windows; ++w) {
+    const bool s = w < skip.size() && skip[w];
+    rom_done = rom_done + (s ? sim::SimTime::zero() : rom_t);
+    dec_done = std::max(rom_done, dec_done) + (s ? check_t : dec_t);
+    cfg_done = std::max(dec_done, cfg_done) + (s ? sim::SimTime::zero()
+                                                 : frame_time);
+  }
+  return cfg_done;
 }
 
 }  // namespace aad::mcu

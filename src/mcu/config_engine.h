@@ -35,6 +35,18 @@ struct ConfigEngineConfig {
   /// `compare_cycles_per_byte` on the engine clock.
   bool difference_based = false;
   double compare_cycles_per_byte = 0.25;
+  /// Delta reconfiguration: the engine keeps a content hash per fabric
+  /// frame (driver metadata — eviction frees frames but does not erase the
+  /// fabric, so the record survives the function that wrote it).  A window
+  /// whose target frame already holds exactly its content is skipped
+  /// *entirely*: the provisioning-time window index lets the engine seek
+  /// past that window's compressed span, so unlike difference_based the
+  /// skip avoids the ROM and decompress stages too, and it matches across
+  /// functions — an incremental variant of a resident function streams
+  /// only its dirty frames.
+  bool delta_reconfig = false;
+  /// Per skipped window: frame-table lookup cost (engine cycles).
+  double delta_check_cycles = 32.0;
 };
 
 struct ConfigureResult {
@@ -43,10 +55,19 @@ struct ConfigureResult {
   sim::SimTime decompress_bound;  ///< sum of decompress stage times
   sim::SimTime config_bound;      ///< sum of config-port stage times
   std::size_t frames_written = 0;
-  std::size_t frames_skipped = 0; ///< difference-based matches
-  std::size_t compressed_bytes = 0;
+  std::size_t frames_skipped = 0; ///< all skipped port writes (both flows)
+  std::size_t frames_skipped_delta = 0; ///< hash-tracked delta matches
+  std::size_t compressed_bytes = 0; ///< full stream size in ROM
+  /// Compressed bytes actually read from ROM: equals compressed_bytes
+  /// except under delta_reconfig, where matched windows' spans are never
+  /// fetched (apportioned evenly per window, like the ROM stage timing).
+  std::size_t bytes_streamed = 0;
   std::size_t raw_bytes = 0;
 };
+
+/// FNV-1a fingerprint of one frame-sized window — the frame-table entry
+/// delta reconfiguration tracks.  Never returns 0 (reserved for "unknown").
+std::uint64_t window_content_hash(ByteSpan window) noexcept;
 
 class ConfigEngine {
  public:
@@ -64,8 +85,31 @@ class ConfigEngine {
                             const memory::RomTiming& rom_timing,
                             sim::Trace* trace, sim::SimTime start);
 
+  const ConfigEngineConfig& config() const noexcept { return config_; }
+
+  /// Content hash last streamed into frame `f` (0 = unknown).  Tracked
+  /// only while delta_reconfig is on.
+  std::uint64_t frame_hash(fabric::FrameIndex f) const noexcept {
+    return f < frame_hashes_.size() ? frame_hashes_[f] : 0;
+  }
+
+  /// Forget every tracked frame (device erase — the fabric no longer holds
+  /// what the table says it does).
+  void reset_tracking() noexcept { frame_hashes_.clear(); }
+
+  /// Closed-form mirror of configure()'s pipeline recurrence for a
+  /// hypothetical load: `skip[w]` marks windows predicted to delta-match
+  /// (empty = none).  Shared by Mcu::estimate_load and the auto-codec
+  /// pick so planning can never drift from execution.
+  sim::SimTime estimate_time(std::size_t compressed_bytes, unsigned frames,
+                             compress::CodecId codec, std::size_t frame_bytes,
+                             sim::SimTime frame_time,
+                             const memory::RomTiming& rom_timing,
+                             const std::vector<bool>& skip = {}) const;
+
  private:
   ConfigEngineConfig config_;
+  std::vector<std::uint64_t> frame_hashes_;
 };
 
 }  // namespace aad::mcu

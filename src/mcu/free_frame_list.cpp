@@ -44,7 +44,7 @@ bool FreeFrameList::is_free(fabric::FrameIndex frame) const {
 }
 
 std::optional<std::vector<fabric::FrameIndex>>
-FreeFrameList::allocate_contiguous(unsigned count, bool best_fit) {
+FreeFrameList::select_contiguous(unsigned count, bool best_fit) const {
   unsigned best_start = 0;
   unsigned best_len = 0;
   bool found = false;
@@ -69,32 +69,38 @@ FreeFrameList::allocate_contiguous(unsigned count, bool best_fit) {
   if (!found) return std::nullopt;
   std::vector<fabric::FrameIndex> frames(count);
   std::iota(frames.begin(), frames.end(), best_start);
-  for (fabric::FrameIndex f : frames) free_[f] = false;
-  free_frames_ -= count;
   return frames;
 }
 
-std::optional<std::vector<fabric::FrameIndex>> FreeFrameList::allocate(
-    unsigned count, AllocationStrategy strategy) {
+std::optional<std::vector<fabric::FrameIndex>> FreeFrameList::peek(
+    unsigned count, AllocationStrategy strategy) const {
   AAD_REQUIRE(count >= 1, "allocation must request at least one frame");
   if (count > free_frames_) return std::nullopt;
   switch (strategy) {
     case AllocationStrategy::kFirstFitContiguous:
-      return allocate_contiguous(count, /*best_fit=*/false);
+      return select_contiguous(count, /*best_fit=*/false);
     case AllocationStrategy::kBestFitContiguous:
-      return allocate_contiguous(count, /*best_fit=*/true);
+      return select_contiguous(count, /*best_fit=*/true);
     case AllocationStrategy::kGatherScattered: {
       std::vector<fabric::FrameIndex> frames;
       frames.reserve(count);
       for (unsigned f = 0; f < free_.size() && frames.size() < count; ++f)
         if (free_[f]) frames.push_back(f);
       AAD_CHECK(frames.size() == count, "free counter out of sync");
-      for (fabric::FrameIndex f : frames) free_[f] = false;
-      free_frames_ -= count;
       return frames;
     }
   }
   return std::nullopt;
+}
+
+std::optional<std::vector<fabric::FrameIndex>> FreeFrameList::allocate(
+    unsigned count, AllocationStrategy strategy) {
+  auto frames = peek(count, strategy);
+  if (frames) {
+    for (fabric::FrameIndex f : *frames) free_[f] = false;
+    free_frames_ -= count;
+  }
+  return frames;
 }
 
 void FreeFrameList::release(std::span<const fabric::FrameIndex> frames) {

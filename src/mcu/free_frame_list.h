@@ -52,6 +52,13 @@ class FreeFrameList {
   std::optional<std::vector<fabric::FrameIndex>> allocate(
       unsigned count, AllocationStrategy strategy);
 
+  /// Where WOULD allocate() place `count` frames right now?  Pure selection
+  /// without reserving anything — the load-cost estimator's placement
+  /// predictor.  allocate() is exactly peek() + claim(), so prediction and
+  /// execution can never diverge.
+  std::optional<std::vector<fabric::FrameIndex>> peek(
+      unsigned count, AllocationStrategy strategy) const;
+
   /// Return frames to the free list.  Throws if any frame is already free
   /// (double release — a firmware bug the tests probe for).
   void release(std::span<const fabric::FrameIndex> frames);
@@ -70,8 +77,8 @@ class FreeFrameList {
   double external_fragmentation() const noexcept;
 
  private:
-  std::optional<std::vector<fabric::FrameIndex>> allocate_contiguous(
-      unsigned count, bool best_fit);
+  std::optional<std::vector<fabric::FrameIndex>> select_contiguous(
+      unsigned count, bool best_fit) const;
 
   std::vector<bool> free_;
   unsigned free_frames_;

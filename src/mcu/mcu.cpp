@@ -3,6 +3,13 @@
 #include <algorithm>
 
 namespace aad::mcu {
+namespace {
+
+/// Auto-codec pick: candidates whose modeled load is within this fraction
+/// of the fastest compete on compressed size instead.
+constexpr double kAutoCodecSlack = 0.05;
+
+}  // namespace
 
 Mcu::Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
          const RuntimeRegistry& runtime, const McuConfig& config)
@@ -32,11 +39,60 @@ memory::RomRecord Mcu::store_function(memory::FunctionId id,
   AAD_REQUIRE(bs.frame_count() <= geometry.frame_count,
               "function larger than the whole device");
 
-  const compress::CodecId chosen = codec.value_or(config_.codec);
+  const compress::CodecId requested = codec.value_or(config_.codec);
   const Bytes raw = bitstream::pack_frame_payloads(bs);
-  const auto codec_impl =
-      compress::make_codec(chosen, geometry.frame_bytes());
-  const Bytes compressed = codec_impl->compress(raw);
+  compress::CodecId chosen = requested;
+  Bytes compressed;
+  if (requested == compress::CodecId::kAuto) {
+    // Trial-compress with every real codec, model the cold load each would
+    // cost through the engine's pipeline recurrence, and keep the fastest.
+    // Near-ties (the config port hides cheap decoders) go to the smallest
+    // stream: ROM capacity is the secondary objective.
+    const unsigned frames = static_cast<unsigned>(bs.frame_count());
+    const sim::SimTime frame_time = fabric_.port().frame_time(geometry);
+    double best_ns = 0.0;
+    std::vector<std::pair<compress::CodecId, Bytes>> trials;
+    std::vector<double> times_ns;
+    for (const compress::CodecId cand : compress::all_codec_ids()) {
+      Bytes c = compress::make_codec(cand, geometry.frame_bytes())
+                    ->compress(raw);
+      const sim::SimTime t =
+          engine_.estimate_time(c.size(), frames, cand, geometry.frame_bytes(),
+                                frame_time, config_.rom_timing);
+      times_ns.push_back(t.nanoseconds());
+      if (trials.empty() || t.nanoseconds() < best_ns)
+        best_ns = t.nanoseconds();
+      trials.emplace_back(cand, std::move(c));
+    }
+    const double cutoff = best_ns * (1.0 + kAutoCodecSlack);
+    std::size_t pick = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (times_ns[i] > cutoff) continue;
+      if (first || trials[i].second.size() < trials[pick].second.size()) {
+        pick = i;
+        first = false;
+      }
+    }
+    chosen = trials[pick].first;
+    compressed = std::move(trials[pick].second);
+  } else {
+    compressed =
+        compress::make_codec(chosen, geometry.frame_bytes())->compress(raw);
+  }
+  ++stats_.codec_picks[chosen];
+
+  // Per-window fingerprints: the driver metadata delta reconfiguration and
+  // the load-cost estimator match against the engine's frame table.
+  {
+    auto& hashes = window_hashes_[id];
+    hashes.clear();
+    const std::size_t frame_bytes = geometry.frame_bytes();
+    for (std::size_t off = 0; off + frame_bytes <= raw.size();
+         off += frame_bytes)
+      hashes.push_back(
+          window_content_hash(ByteSpan(raw.data() + off, frame_bytes)));
+  }
 
   memory::RomRecord record;
   record.function_id = id;
@@ -158,7 +214,8 @@ DefragResult Mcu::defragment_at(sim::SimTime start) {
     t += cfg.total;
     stats_.frames_configured += cfg.frames_written;
     stats_.frames_skipped += cfg.frames_skipped;
-    stats_.compressed_bytes_streamed += cfg.compressed_bytes;
+    stats_.frames_skipped_delta += cfg.frames_skipped_delta;
+    stats_.compressed_bytes_streamed += cfg.bytes_streamed;
 
     fn.frames = target;
     fn.network.reset();
@@ -179,6 +236,115 @@ void Mcu::reset_fabric() {
   pinned_.clear();
   free_list_.reset();
   fabric_.erase();
+  engine_.reset_tracking();  // the frame table no longer matches the fabric
+}
+
+std::vector<bool> Mcu::matched_windows(
+    const memory::RomRecord& record,
+    std::span<const fabric::FrameIndex> targets, unsigned* count) const {
+  std::vector<bool> matched(targets.size(), false);
+  if (count) *count = 0;
+  if (!config_.engine.delta_reconfig) return matched;
+  const auto it = window_hashes_.find(record.function_id);
+  if (it == window_hashes_.end() || it->second.size() != targets.size())
+    return matched;
+  for (std::size_t w = 0; w < targets.size(); ++w) {
+    const std::uint64_t resident = engine_.frame_hash(targets[w]);
+    if (resident != 0 && resident == it->second[w]) {
+      matched[w] = true;
+      if (count) ++*count;
+    }
+  }
+  return matched;
+}
+
+std::optional<Mcu::DeltaPlan> Mcu::plan_placement(
+    const memory::RomRecord& record) const {
+  // Candidate A: the frames the free list would hand out.
+  const auto free_frames = free_list_.peek(record.frames, config_.allocation);
+  unsigned matched_free = 0;
+  std::vector<bool> free_mask;
+  if (free_frames)
+    free_mask = matched_windows(record, *free_frames, &matched_free);
+
+  // Candidate B: in-place upgrade — the same-footprint unpinned resident
+  // whose frames match the most windows (lowest id wins ties).
+  std::optional<memory::FunctionId> victim;
+  std::vector<bool> victim_mask;
+  std::vector<fabric::FrameIndex> victim_frames;
+  unsigned matched_victim = 0;
+  for (const auto& [fid, fn] : loaded_) {
+    if (fid == record.function_id) continue;
+    if (pinned_.contains(fid)) continue;
+    if (fn.record.frames != record.frames) continue;
+    unsigned m = 0;
+    auto mask = matched_windows(record, fn.frames, &m);
+    if (m > matched_victim) {
+      victim = fid;
+      matched_victim = m;
+      victim_mask = std::move(mask);
+      victim_frames = fn.frames;
+    }
+  }
+
+  // Upgrading costs an eviction, so it must both clear a majority of the
+  // footprint and beat whatever the free placement would match.
+  const bool upgrade = victim.has_value() &&
+                       matched_victim * 2 >= record.frames &&
+                       (!free_frames || matched_victim > matched_free);
+  DeltaPlan plan;
+  if (upgrade) {
+    plan.frames = std::move(victim_frames);
+    plan.upgrade_victim = victim;
+    plan.matched = std::move(victim_mask);
+    plan.matched_count = matched_victim;
+    return plan;
+  }
+  if (!free_frames) return std::nullopt;  // only the eviction loop remains
+  plan.frames = *free_frames;
+  plan.matched = std::move(free_mask);
+  plan.matched_count = matched_free;
+  return plan;
+}
+
+LoadEstimate Mcu::estimate_load(memory::FunctionId id) const {
+  LoadEstimate est;
+  if (const auto it = loaded_.find(id); it != loaded_.end()) {
+    est.known = true;
+    est.resident = true;
+    est.frames = it->second.record.frames;
+    return est;
+  }
+  const auto record = rom_.lookup(id);
+  if (!record) return est;
+  est.known = true;
+  est.frames = record->frames;
+  est.compressed_bytes = record->compressed_size;
+
+  std::vector<bool> skip;
+  if (config_.engine.delta_reconfig) {
+    if (const auto plan = plan_placement(*record)) {
+      skip = plan->matched;
+      est.frames_matched = plan->matched_count;
+      est.evictions = plan->upgrade_victim ? 1 : 0;
+    } else {
+      est.evictions = 1;  // eviction loop; match prediction unknown
+    }
+  } else if (!free_list_.peek(record->frames, config_.allocation)) {
+    est.evictions = 1;
+  }
+
+  const auto& geometry = fabric_.geometry();
+  sim::SimTime t = engine_.estimate_time(
+      est.compressed_bytes, record->frames, record->codec,
+      geometry.frame_bytes(), fabric_.port().frame_time(geometry),
+      config_.rom_timing, skip);
+  if (est.evictions)
+    t += config_.mcu_clock.cycles(config_.eviction_overhead_cycles *
+                                  est.evictions);
+  t += config_.mcu_clock.cycles(config_.command_overhead_cycles);
+  est.time = t;
+  return est;
 }
 
 LoadResult Mcu::ensure_loaded(memory::FunctionId id) {
@@ -213,11 +379,24 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
               "function larger than the device");
   ++stats_.config_misses;
 
+  // Delta reconfiguration: prefer an in-place upgrade when a resident
+  // same-footprint sibling already holds most of this function's frames —
+  // evicting it and reusing its exact frame set turns the load into a
+  // stream of just the dirty windows.
+  std::optional<std::vector<fabric::FrameIndex>> frames;
+  if (config_.engine.delta_reconfig) {
+    if (auto plan = plan_placement(*record); plan && plan->upgrade_victim) {
+      t += evict_cost(*plan->upgrade_victim, t);
+      ++result.evictions;
+      free_list_.claim(plan->frames);
+      frames = std::move(plan->frames);
+    }
+  }
+
   // Allocation / eviction loop (§2.5): "if the Free Frame list is
   // insufficient ... some functions from the FPGA have to be erased".
-  std::optional<std::vector<fabric::FrameIndex>> frames;
   bool tried_defrag = false;
-  for (;;) {
+  while (!frames) {
     frames = free_list_.allocate(record->frames, config_.allocation);
     if (frames) break;
     ++stats_.allocation_retries;
@@ -255,7 +434,8 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
   t += cfg.total;
   stats_.frames_configured += cfg.frames_written;
   stats_.frames_skipped += cfg.frames_skipped;
-  stats_.compressed_bytes_streamed += cfg.compressed_bytes;
+  stats_.frames_skipped_delta += cfg.frames_skipped_delta;
+  stats_.compressed_bytes_streamed += cfg.bytes_streamed;
 
   LoadedFunction fn;
   fn.record = *record;

@@ -89,10 +89,31 @@ struct McuStats {
   std::uint64_t config_misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t frames_configured = 0;
-  std::uint64_t frames_skipped = 0;      ///< difference-based matches
-  std::uint64_t allocation_retries = 0;  ///< contiguous-alloc failures
+  std::uint64_t frames_skipped = 0;        ///< all skipped port writes
+  std::uint64_t frames_skipped_delta = 0;  ///< hash-tracked delta matches
+  std::uint64_t allocation_retries = 0;    ///< contiguous-alloc failures
   std::uint64_t defragmentations = 0;
+  /// Compressed bytes actually fetched from ROM by loads; under delta
+  /// reconfiguration, matched windows' spans are never fetched.
   std::uint64_t compressed_bytes_streamed = 0;
+  /// Stored functions by the codec they ended up with — under kAuto this
+  /// is the record of what the pick chose.
+  std::map<compress::CodecId, std::uint64_t> codec_picks;
+};
+
+/// What would load_invoke(id) cost right now?  The shared load-cost model:
+/// modeled from the record's compressed bytes plus the frames the delta
+/// tracker predicts it can skip, through the same pipeline recurrence the
+/// configuration engine executes.  Pure query — no simulated time, no
+/// state change.
+struct LoadEstimate {
+  bool known = false;           ///< provisioned in ROM (or resident)
+  bool resident = false;        ///< hit: zero cost
+  unsigned frames = 0;          ///< footprint
+  unsigned frames_matched = 0;  ///< windows predicted to delta-skip
+  unsigned evictions = 0;       ///< predicted eviction count
+  std::size_t compressed_bytes = 0;
+  sim::SimTime time;            ///< modeled load_invoke duration
 };
 
 /// Outcome of a mini-OS compaction pass.
@@ -111,7 +132,11 @@ class Mcu {
 
   /// Compress `bitstream`'s frame payloads with `codec` (or the configured
   /// default) and store stream + record in ROM.  Advances simulated time by
-  /// the ROM programming cost.
+  /// the ROM programming cost.  CodecId::kAuto trial-compresses with every
+  /// real codec and keeps the one whose modeled load is cheapest (measured
+  /// compressed size through the engine's pipeline recurrence); near-ties
+  /// go to the smallest stream, since ROM capacity is the secondary
+  /// objective.  The resolved codec lands in the returned record.
   memory::RomRecord store_function(
       memory::FunctionId id, const bitstream::Bitstream& bitstream,
       std::optional<compress::CodecId> codec = std::nullopt);
@@ -195,6 +220,17 @@ class Mcu {
   /// behind the fabric.  Pure query: no simulated time, no state change.
   bool load_feasible(memory::FunctionId id) const;
 
+  /// The load-cost model (see LoadEstimate).  Resident functions cost
+  /// zero; a miss is modeled from its placement prediction — including the
+  /// frames the delta tracker would skip there — through the engine's own
+  /// pipeline recurrence, so on an eviction-free miss the estimate equals
+  /// load_invoke's elapsed time exactly.
+  LoadEstimate estimate_load(memory::FunctionId id) const;
+  /// Shorthand: estimate_load(id).time.
+  sim::SimTime estimated_load_cost(memory::FunctionId id) const {
+    return estimate_load(id).time;
+  }
+
   /// Explicitly evict a resident function (host-directed swap-out).
   void evict(memory::FunctionId id);
 
@@ -238,6 +274,24 @@ class Mcu {
     std::unique_ptr<netlist::LutExecutor> executor;
   };
 
+  /// Placement prediction under delta reconfiguration: either the frames
+  /// the free list would hand out, or an in-place upgrade — evict one
+  /// same-footprint resident whose frames mostly already match and reuse
+  /// its exact frame set.  nullopt when only the eviction loop can place
+  /// the function.  Shared by load_at and estimate_load so the estimator
+  /// predicts what the loader then does.
+  struct DeltaPlan {
+    std::vector<fabric::FrameIndex> frames;
+    std::optional<memory::FunctionId> upgrade_victim;
+    std::vector<bool> matched;  ///< per-window delta-skip prediction
+    unsigned matched_count = 0;
+  };
+  std::optional<DeltaPlan> plan_placement(
+      const memory::RomRecord& record) const;
+  std::vector<bool> matched_windows(const memory::RomRecord& record,
+                                    std::span<const fabric::FrameIndex> targets,
+                                    unsigned* count) const;
+
   // Duration-returning primitives shared by the synchronous shims and the
   // staged path: mutate state, stamp trace spans at virtual times, never
   // touch the scheduler.
@@ -265,6 +319,10 @@ class Mcu {
   /// Pin reference counts; a function present here (count >= 1) is
   /// excluded from eviction.
   std::map<memory::FunctionId, unsigned> pinned_;
+  /// Per-window content hashes of every stored function's raw payload —
+  /// host-driver metadata (no ROM bytes), matched against the engine's
+  /// frame table to predict delta skips before streaming anything.
+  std::map<memory::FunctionId, std::vector<std::uint64_t>> window_hashes_;
   McuStats stats_;
 };
 

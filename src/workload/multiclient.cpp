@@ -108,4 +108,51 @@ MultiClientTrace make_bursty(const BurstyConfig& config) {
   return trace;
 }
 
+MultiClientTrace make_incremental(const IncrementalConfig& config) {
+  AAD_REQUIRE(!config.groups.empty(),
+              "incremental trace needs at least one version chain");
+  for (const auto& chain : config.groups)
+    AAD_REQUIRE(!chain.empty(), "every version chain needs a version");
+  AAD_REQUIRE(config.clients >= 1, "need at least one client");
+  AAD_REQUIRE(config.requests_per_client >= 1,
+              "need at least one request per client");
+  AAD_REQUIRE(config.advance >= 0.0 && config.advance <= 1.0,
+              "advance must be a probability");
+
+  MultiClientTrace trace;
+  trace.mode = config.mode;
+  trace.clients.resize(config.clients);
+
+  for (unsigned c = 0; c < config.clients; ++c) {
+    ClientTrace& ct = trace.clients[c];
+    ct.client = c;
+
+    const auto& chain = config.groups[c % config.groups.size()];
+    Prng rng(config.seed * 1000003ull + c);
+    Prng arrivals((config.seed * 1000003ull + c) ^ 0xC3C3C3C3C3C3C3C3ull);
+
+    std::size_t version = 0;
+    sim::SimTime clock;  // open loop: running arrival time
+    ct.requests.reserve(config.requests_per_client);
+    for (std::size_t i = 0; i < config.requests_per_client; ++i) {
+      // Advance BEFORE the first use too, except on request 0 — every
+      // client's first request exercises version 0, so a fleet's cards
+      // warm up on the same base image.
+      if (i > 0 && rng.next_double() < config.advance)
+        version = (version + 1) % chain.size();
+      ClientRequest cr;
+      cr.function = chain[version];
+      cr.payload_blocks = config.payload_blocks;
+      if (config.mode == ArrivalMode::kOpenLoop) {
+        clock += exponential(arrivals, config.mean_interarrival);
+        cr.offset = clock;
+      } else {
+        cr.offset = exponential(arrivals, config.mean_think_time);
+      }
+      ct.requests.push_back(cr);
+    }
+  }
+  return trace;
+}
+
 }  // namespace aad::workload

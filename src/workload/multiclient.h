@@ -104,4 +104,37 @@ struct BurstyConfig {
 /// so workload::replay drives it through a server or fleet unchanged.
 MultiClientTrace make_bursty(const BurstyConfig& config);
 
+/// Incremental-variant traffic: the workload delta reconfiguration feeds on.
+///
+/// An edit-compile-run loop, an adaptive filter re-tuned between blocks, a
+/// kernel recompiled with new constants — each produces a CHAIN of function
+/// versions whose bitstreams differ in a handful of frames.  `groups` holds
+/// those chains (each inner vector is one chain, adjacent versions nearly
+/// identical on the fabric); clients are assigned chains round-robin, start
+/// at version 0, and on each request advance to the next version with
+/// probability `advance` (wrapping cyclically), otherwise re-invoke the
+/// version they are on.  Under full-image reconfiguration every advance is
+/// a cold miss; under delta reconfiguration it reloads only the frames the
+/// new version actually changed.
+struct IncrementalConfig {
+  unsigned clients = 4;
+  std::size_t requests_per_client = 32;
+  /// Version chains: groups[g][v] is version v of chain g.  Every chain
+  /// needs at least one version; a one-version chain never misses after
+  /// its first load.
+  std::vector<std::vector<FunctionId>> groups;
+  std::uint64_t seed = 1;
+  std::size_t payload_blocks = 1;
+  ArrivalMode mode = ArrivalMode::kOpenLoop;
+  /// Probability a request moves its client to the chain's next version.
+  double advance = 0.5;
+  /// Open loop: mean of the exponential inter-arrival time per client.
+  sim::SimTime mean_interarrival = sim::SimTime::us(200);
+  /// Closed loop: mean of the exponential think time.
+  sim::SimTime mean_think_time = sim::SimTime::zero();
+};
+
+/// Deterministic in `config.seed`; each client gets an independent stream.
+MultiClientTrace make_incremental(const IncrementalConfig& config);
+
 }  // namespace aad::workload

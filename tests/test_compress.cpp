@@ -269,5 +269,84 @@ TEST(CodecModel, EntropyCodersCostMoreThanCopies) {
             decompress_cycles_per_byte(CodecId::kHuffman));
 }
 
+// --- streaming edge cases -------------------------------------------------------
+
+TEST(CodecStreaming, EmptyCompressedInputThrows) {
+  // The 4-byte raw_size header is mandatory: a zero-length compressed
+  // stream is corruption, not an empty payload.
+  for (CodecId id : all_codec_ids()) {
+    const auto codec = make_codec(id, kFrameBytes);
+    EXPECT_THROW(codec->decompress(Bytes{}), Error) << to_string(id);
+  }
+}
+
+TEST(CodecStreaming, RawSizeZeroStreamsZeroBytes) {
+  for (CodecId id : all_codec_ids()) {
+    const auto codec = make_codec(id, kFrameBytes);
+    const Bytes compressed = codec->compress({});
+    auto stream = codec->decompress_stream(compressed);
+    EXPECT_EQ(stream->raw_size(), 0u) << to_string(id);
+    Bytes buf(64);
+    EXPECT_EQ(stream->read(buf), 0u) << to_string(id);
+    EXPECT_EQ(stream->read(buf), 0u) << to_string(id);  // stays drained
+  }
+}
+
+TEST(CodecStreaming, SingleFramePayloadDecodes) {
+  // Exactly one frame: the frame-delta codecs have no previous frame to
+  // reference, so the first window must decode standalone.
+  Prng rng(97);
+  Bytes raw(kFrameBytes);
+  for (auto& b : raw) b = static_cast<Byte>(rng.next());
+  for (CodecId id : all_codec_ids()) {
+    const auto codec = make_codec(id, kFrameBytes);
+    const Bytes compressed = codec->compress(raw);
+    auto stream = codec->decompress_stream(compressed);
+    ASSERT_EQ(stream->raw_size(), raw.size()) << to_string(id);
+    Bytes buf(kFrameBytes);
+    ASSERT_EQ(stream->read(buf), kFrameBytes) << to_string(id);
+    EXPECT_EQ(buf, raw) << to_string(id);
+    EXPECT_EQ(stream->read(buf), 0u) << to_string(id);
+  }
+}
+
+TEST(CodecStreaming, DeltaStreamRebuildsItsOwnHistory) {
+  // Two identical frames make frame 2 a pure copy-previous delta.  Every
+  // FRESH stream over the same bytes starts with cold history and must
+  // rebuild it from frame 1 — no state may leak between streams.
+  const Bytes raw(2 * kFrameBytes, 0x3C);
+  for (CodecId id : {CodecId::kFrameDelta, CodecId::kDeltaGolomb}) {
+    const auto codec = make_codec(id, kFrameBytes);
+    const Bytes compressed = codec->compress(raw);
+    for (int round = 0; round < 2; ++round) {
+      auto stream = codec->decompress_stream(compressed);
+      Bytes got;
+      Bytes buf(kFrameBytes);
+      for (;;) {
+        const std::size_t n = stream->read(buf);
+        if (n == 0) break;
+        got.insert(got.end(), buf.begin(),
+                   buf.begin() + static_cast<std::ptrdiff_t>(n));
+      }
+      EXPECT_EQ(got, raw) << to_string(id) << " round=" << round;
+    }
+  }
+}
+
+// --- the kAuto sentinel ---------------------------------------------------------
+
+TEST(CodecFactory, AutoIsASelectionPolicyNotACodec) {
+  EXPECT_THROW(make_codec(CodecId::kAuto, kFrameBytes), Error);
+  for (CodecId id : all_codec_ids()) EXPECT_NE(id, CodecId::kAuto);
+}
+
+TEST(CodecFactory, CodecFromStringRoundtripsEveryName) {
+  for (CodecId id : all_codec_ids())
+    EXPECT_EQ(codec_from_string(to_string(id)), id);
+  EXPECT_EQ(codec_from_string("auto"), CodecId::kAuto);
+  EXPECT_THROW(codec_from_string("zstd"), Error);
+  EXPECT_THROW(codec_from_string(""), Error);
+}
+
 }  // namespace
 }  // namespace aad::compress

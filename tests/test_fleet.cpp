@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
+#include "bitstream/synth.h"
 #include "core/fleet.h"
 #include "workload/multiclient.h"
 #include "workload/replay.h"
@@ -369,6 +371,59 @@ TEST(CoprocessorFleetTest, SingleCardFleetBitExactUnderReorderingPolicy) {
   EXPECT_EQ(a.total_hidden_reconfig, b.total_hidden_reconfig);
   EXPECT_EQ(a.total_engine_wait, b.total_engine_wait);
   EXPECT_EQ(a.total_fabric_wait, b.total_fabric_wait);
+}
+
+TEST(CoprocessorFleetTest, CostRoutingSteersToTheCheapestDeltaCard) {
+  // Two versions of a 12-frame behavioral function differing in 2 frames.
+  const auto& spec = algorithms::spec(KernelId::kXtea);
+  bitstream::SynthParams params;
+  params.frames = 12;
+  params.seed = 21;
+  bitstream::Bitstream v0 = bitstream::synthesize_behavioral(
+      spec.name, algorithms::function_id(KernelId::kXtea), spec.input_width,
+      spec.output_width, fabric::FrameGeometry{}, params);
+  params.seed = 22;
+  const bitstream::Bitstream alt = bitstream::synthesize_behavioral(
+      spec.name, algorithms::function_id(KernelId::kXtea), spec.input_width,
+      spec.output_width, fabric::FrameGeometry{}, params);
+  bitstream::Bitstream v1 = v0;
+  for (unsigned d = 0; d < 2; ++d) v1.frames[d] = alt.frames[d];
+
+  auto make_fleet = [&](bool cost_routing) {
+    FleetConfig fc;
+    fc.cards = 2;
+    fc.policy = DispatchPolicy::kResidencyAffinity;
+    fc.cost_routing = cost_routing;
+    fc.card.mcu.engine.delta_reconfig = true;
+    auto fleet = std::make_unique<CoprocessorFleet>(fc);
+    fleet->download_bitstream(9000, v0);
+    fleet->download_bitstream(9001, v1);
+    // Card 1 ran v0 and evicted it: its fabric still holds v0's frames, so
+    // loading v1 there streams only the 2 dirty frames.  Card 0 is cold.
+    fleet->card(1).mcu().ensure_loaded(9000);
+    fleet->card(1).mcu().evict(9000);
+    return fleet;
+  };
+
+  // Cost routing: no card is resident for v1, but card 1's delta estimate
+  // is far below a cold load, so the tier-3 router picks it.
+  auto fleet = make_fleet(true);
+  EXPECT_EQ(fleet->preview_card(9001), 1u);
+  fleet->submit_function(0, 9001, spec.make_input(2, 1));
+  fleet->run();
+  const auto stats = fleet->stats();
+  EXPECT_EQ(stats.delta_routed, 1u);
+  EXPECT_EQ(stats.affinity_fallback, 0u);
+  EXPECT_EQ(stats.frames_skipped_delta, 10u);  // only 2 of 12 streamed
+
+  // Binary residency check only: v1 is resident nowhere, so the request
+  // falls back to least-queued — the cold card 0, paying the full load.
+  auto binary = make_fleet(false);
+  EXPECT_EQ(binary->preview_card(9001), 0u);
+  binary->submit_function(0, 9001, spec.make_input(2, 1));
+  binary->run();
+  EXPECT_EQ(binary->stats().delta_routed, 0u);
+  EXPECT_EQ(binary->stats().affinity_fallback, 1u);
 }
 
 TEST(CoprocessorFleetTest, SubmitInThePastThrows) {

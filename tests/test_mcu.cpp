@@ -548,5 +548,161 @@ TEST_F(McuFixture, DecodeAndLoadComposeIntoPrepare) {
   EXPECT_EQ(mcu_.stats().invocations, 2u);  // decode_invoke counts the call
 }
 
+// --- delta reconfiguration (frame-content tracking) ---------------------------
+
+class DeltaMcuFixture : public ::testing::Test {
+ protected:
+  static constexpr memory::FunctionId kV0 = 9000;
+  static constexpr memory::FunctionId kV1 = 9001;
+  static constexpr unsigned kFrames = 12;
+  static constexpr unsigned kDirty = 2;
+
+  DeltaMcuFixture() : mcu_(fabric_, scheduler_, trace_, runtime_, config()) {
+    algorithms::register_runtimes(runtime_);
+  }
+
+  static McuConfig config() {
+    McuConfig c;
+    c.engine.delta_reconfig = true;
+    return c;
+  }
+
+  /// Two versions of a 12-frame behavioral function whose bitstreams
+  /// differ in exactly kDirty frames.
+  void provision_versions() {
+    const auto& spec = algorithms::spec(KernelId::kXtea);
+    bitstream::SynthParams params;
+    params.frames = kFrames;
+    params.seed = 11;
+    bitstream::Bitstream v0 = bitstream::synthesize_behavioral(
+        spec.name, algorithms::function_id(KernelId::kXtea), spec.input_width,
+        spec.output_width, fabric_.geometry(), params);
+    params.seed = 12;
+    const bitstream::Bitstream alt = bitstream::synthesize_behavioral(
+        spec.name, algorithms::function_id(KernelId::kXtea), spec.input_width,
+        spec.output_width, fabric_.geometry(), params);
+    bitstream::Bitstream v1 = v0;
+    for (unsigned d = 0; d < kDirty; ++d) v1.frames[d] = alt.frames[d];
+    mcu_.store_function(kV0, v0);
+    mcu_.store_function(kV1, v1);
+  }
+
+  fabric::Fabric fabric_;
+  sim::Scheduler scheduler_;
+  sim::Trace trace_;
+  RuntimeRegistry runtime_;
+  Mcu mcu_;
+};
+
+TEST_F(DeltaMcuFixture, ReloadAfterEvictionSkipsEveryMatchedFrame) {
+  provision_versions();
+  const auto first = mcu_.ensure_loaded(kV0);
+  EXPECT_EQ(first.frames_configured, kFrames);
+
+  // Eviction leaves fabric content AND the hash tracker intact; first-fit
+  // hands the same frames back, so the whole load collapses to per-window
+  // delta checks — no ROM fetch, no decompression, no port writes.
+  mcu_.evict(kV0);
+  const auto bytes_before = mcu_.stats().compressed_bytes_streamed;
+  const auto second = mcu_.ensure_loaded(kV0);
+  EXPECT_FALSE(second.hit);
+  EXPECT_EQ(second.frames_configured, 0u);
+  EXPECT_EQ(mcu_.stats().frames_skipped_delta, kFrames);
+  EXPECT_EQ(mcu_.stats().compressed_bytes_streamed, bytes_before);
+  EXPECT_LT(second.reconfig_time * 3, first.reconfig_time);
+
+  const auto& spec = algorithms::spec(KernelId::kXtea);
+  const Bytes input = spec.make_input(1, 5);
+  EXPECT_EQ(mcu_.invoke(kV0, input).output, spec.software(input));
+}
+
+TEST_F(DeltaMcuFixture, CrossFunctionMatchStreamsOnlyDirtyFrames) {
+  provision_versions();
+  mcu_.ensure_loaded(kV0);
+  mcu_.evict(kV0);
+
+  // The sibling version reuses v0's frames: only the kDirty differing
+  // windows stream through the pipeline.
+  const auto load = mcu_.ensure_loaded(kV1);
+  EXPECT_EQ(load.frames_configured, kDirty);
+  EXPECT_EQ(mcu_.stats().frames_skipped_delta, kFrames - kDirty);
+}
+
+TEST_F(DeltaMcuFixture, InPlaceUpgradeEvictsTheMatchedSibling) {
+  provision_versions();
+  mcu_.ensure_loaded(kV0);
+  const auto v0_frames = mcu_.frames_of(kV0);
+
+  // v0 is still resident and the device has plenty of free frames, but the
+  // upgrade plan prefers claiming v0's frame set: most of v1's load then
+  // delta-skips, instead of streaming 12 cold frames elsewhere.
+  const auto load = mcu_.ensure_loaded(kV1);
+  EXPECT_EQ(load.evictions, 1u);
+  EXPECT_FALSE(mcu_.is_resident(kV0));
+  EXPECT_TRUE(mcu_.is_resident(kV1));
+  EXPECT_EQ(mcu_.frames_of(kV1), v0_frames);
+  EXPECT_EQ(load.frames_configured, kDirty);
+}
+
+TEST_F(DeltaMcuFixture, EstimateLoadMatchesActualElapsedExactly) {
+  provision_versions();
+
+  // Cold miss, no eviction: the estimator runs the same pipeline
+  // recurrence the engine executes, so the prediction is exact.
+  const auto cold = mcu_.estimate_load(kV0);
+  ASSERT_TRUE(cold.known);
+  EXPECT_FALSE(cold.resident);
+  EXPECT_EQ(cold.frames_matched, 0u);
+  sim::SimTime t0 = scheduler_.now();
+  mcu_.ensure_loaded(kV0);
+  EXPECT_EQ(scheduler_.now() - t0, cold.time);
+
+  // Resident: zero cost.
+  const auto hit = mcu_.estimate_load(kV0);
+  EXPECT_TRUE(hit.resident);
+  EXPECT_EQ(hit.time, sim::SimTime::zero());
+
+  // In-place upgrade (one eviction, kDirty streamed windows): still exact.
+  const auto upgrade = mcu_.estimate_load(kV1);
+  ASSERT_TRUE(upgrade.known);
+  EXPECT_EQ(upgrade.frames_matched, kFrames - kDirty);
+  EXPECT_EQ(upgrade.evictions, 1u);
+  t0 = scheduler_.now();
+  mcu_.ensure_loaded(kV1);
+  EXPECT_EQ(scheduler_.now() - t0, upgrade.time);
+
+  // Unknown function: not provisioned, nothing to model.
+  EXPECT_FALSE(mcu_.estimate_load(4242).known);
+}
+
+TEST_F(DeltaMcuFixture, AutoCodecPicksARealCodecAndRecordsIt) {
+  const auto& spec = algorithms::spec(KernelId::kXtea);
+  const auto record =
+      mcu_.store_function(algorithms::function_id(KernelId::kXtea),
+                          spec.make_bitstream(fabric_.geometry()),
+                          compress::CodecId::kAuto);
+  EXPECT_NE(record.codec, compress::CodecId::kAuto);
+  EXPECT_EQ(mcu_.stats().codec_picks.at(record.codec), 1u);
+
+  // The pick is the stored codec: the load decompresses with it.
+  const Bytes input = spec.make_input(1, 9);
+  EXPECT_EQ(mcu_.invoke(algorithms::function_id(KernelId::kXtea), input)
+                .output,
+            spec.software(input));
+}
+
+TEST_F(DeltaMcuFixture, ResetFabricClearsTheDeltaTracker) {
+  provision_versions();
+  mcu_.ensure_loaded(kV0);
+  mcu_.evict(kV0);
+  mcu_.reset_fabric();
+
+  // A full reset wipes frame content, so the tracker must forget its
+  // hashes — stale matches would skip windows whose frames are now blank.
+  const auto load = mcu_.ensure_loaded(kV0);
+  EXPECT_EQ(load.frames_configured, kFrames);
+  EXPECT_EQ(mcu_.stats().frames_skipped_delta, 0u);
+}
+
 }  // namespace
 }  // namespace aad::mcu

@@ -216,5 +216,85 @@ TEST(MultiClientTest, RejectsEmptyBankAndZeroClients) {
   EXPECT_THROW(make_multi_client(config3), Error);
 }
 
+// --- incremental-variant traces -------------------------------------------------
+
+IncrementalConfig incremental_config() {
+  IncrementalConfig ic;
+  ic.clients = 2;
+  ic.requests_per_client = 40;
+  ic.groups = {{10, 11, 12}, {20, 21}};
+  ic.seed = 5;
+  return ic;
+}
+
+TEST(IncrementalTest, WalksAssignedChainInVersionOrder) {
+  const auto trace = make_incremental(incremental_config());
+  ASSERT_EQ(trace.clients.size(), 2u);
+  EXPECT_EQ(trace.mode, ArrivalMode::kOpenLoop);
+
+  const std::vector<std::vector<FunctionId>> groups = {{10, 11, 12},
+                                                       {20, 21}};
+  for (unsigned c = 0; c < 2; ++c) {
+    const auto& chain = groups[c];  // round-robin assignment
+    const auto& requests = trace.clients[c].requests;
+    ASSERT_EQ(requests.size(), 40u);
+    EXPECT_EQ(requests[0].function, chain[0]);  // everyone starts at v0
+    std::size_t version = 0;
+    sim::SimTime last;
+    for (const auto& r : requests) {
+      // A request either stays on the current version or advances one
+      // step (wrapping); it never jumps or leaves the chain.
+      const auto it = std::find(chain.begin(), chain.end(), r.function);
+      ASSERT_NE(it, chain.end());
+      const auto idx =
+          static_cast<std::size_t>(std::distance(chain.begin(), it));
+      EXPECT_TRUE(idx == version || idx == (version + 1) % chain.size());
+      version = idx;
+      EXPECT_GE(r.offset, last);  // open loop: non-decreasing arrivals
+      last = r.offset;
+    }
+  }
+}
+
+TEST(IncrementalTest, AdvanceProbabilityBounds) {
+  auto ic = incremental_config();
+  ic.advance = 0.0;  // nobody ever leaves version 0
+  for (const auto& client : make_incremental(ic).clients)
+    for (const auto& r : client.requests)
+      EXPECT_TRUE(r.function == 10 || r.function == 20);
+
+  ic.advance = 1.0;  // every request advances: versions cycle in order
+  const auto trace = make_incremental(ic);
+  const auto& requests = trace.clients[0].requests;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    EXPECT_EQ(requests[i].function, 10 + (i % 3));
+}
+
+TEST(IncrementalTest, DeterministicForSeed) {
+  const auto a = make_incremental(incremental_config());
+  const auto b = make_incremental(incremental_config());
+  for (unsigned c = 0; c < 2; ++c) {
+    ASSERT_EQ(a.clients[c].requests.size(), b.clients[c].requests.size());
+    for (std::size_t i = 0; i < a.clients[c].requests.size(); ++i) {
+      EXPECT_EQ(a.clients[c].requests[i].function,
+                b.clients[c].requests[i].function);
+      EXPECT_EQ(a.clients[c].requests[i].offset,
+                b.clients[c].requests[i].offset);
+    }
+  }
+}
+
+TEST(IncrementalTest, RejectsBadConfigs) {
+  auto ic = incremental_config();
+  ic.groups.clear();
+  EXPECT_THROW(make_incremental(ic), Error);
+  auto ic2 = incremental_config();
+  ic2.groups[1].clear();  // every chain needs at least one version
+  EXPECT_THROW(make_incremental(ic2), Error);
+  auto ic3 = incremental_config();
+  ic3.advance = 1.5;
+  EXPECT_THROW(make_incremental(ic3), Error);
+}
+
 }  // namespace
 }  // namespace aad::workload
