@@ -1,6 +1,7 @@
 #include "core/fleet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace aad::core {
@@ -18,8 +19,15 @@ const char* to_string(DispatchPolicy policy) {
 }
 
 CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
-    : policy_(config.policy), cost_routing_(config.cost_routing) {
+    : policy_(config.policy),
+      cost_routing_(config.cost_routing),
+      faults_(config.faults),
+      retry_(config.retry) {
   AAD_REQUIRE(config.cards >= 1, "a fleet needs at least one card");
+  // Ticket tracking costs a map entry and a wrapped completion per request;
+  // the fault-free configuration keeps the original zero-overhead path.
+  fault_mode_ =
+      !faults_.empty() || retry_.timeout > sim::SimTime::zero();
   shards_.reserve(config.cards);
   for (unsigned i = 0; i < config.cards; ++i) {
     Shard shard;
@@ -67,6 +75,21 @@ std::uint64_t CoprocessorFleet::submit_function_at(sim::SimTime when,
   AAD_REQUIRE(when >= now(), "cannot submit a request in the past");
   const std::uint64_t ticket = next_ticket_++;
   ++undispatched_;
+  if (fault_mode_) {
+    // Fault plans are armed on the FIRST submission, so the plan's times
+    // are relative to when traffic starts, not to how long provisioning
+    // took (which varies with the function set).
+    arm_faults();
+    TicketState state;
+    state.client = client;
+    state.function = function;
+    state.input = std::move(input);
+    state.done = std::move(done);
+    state.submit_time = when;
+    tickets_.emplace(ticket, std::move(state));
+    scheduler_.schedule_at(when, [this, ticket] { dispatch_ticket(ticket); });
+    return ticket;
+  }
   // The card is chosen when the request ARRIVES, not now: pre-scheduled
   // open-loop arrivals and closed-loop resubmissions alike get routed
   // against the queue depths and residency of their arrival instant.
@@ -87,12 +110,200 @@ void CoprocessorFleet::dispatch(unsigned client, memory::FunctionId function,
                                    std::move(done));
 }
 
+bool CoprocessorFleet::any_alive() const {
+  for (const Shard& shard : shards_)
+    if (shard.alive) return true;
+  return false;
+}
+
+void CoprocessorFleet::arm_faults() {
+  if (faults_armed_ || faults_.empty()) return;
+  faults_armed_ = true;
+  const sim::SimTime base = now();
+  for (const sim::CardDeath& death : faults_.deaths) {
+    if (death.card >= card_count()) continue;
+    scheduler_.schedule_at(base + death.at,
+                           [this, card = death.card] { kill_card(card); });
+    if (death.recover_at > death.at)
+      scheduler_.schedule_at(base + death.recover_at,
+                             [this, card = death.card] { revive_card(card); });
+  }
+  for (const sim::RomCorruption& c : faults_.corruptions) {
+    if (c.card >= card_count()) continue;
+    scheduler_.schedule_at(base + c.at, [this, c] {
+      shards_[c.card].card->mcu().rom().corrupt_payload(c.function, c.seed,
+                                                        c.bit_flips);
+    });
+  }
+}
+
+void CoprocessorFleet::dispatch_ticket(std::uint64_t ticket) {
+  --undispatched_;
+  const auto it = tickets_.find(ticket);
+  AAD_CHECK(it != tickets_.end(), "dispatching an unknown ticket");
+  TicketState& state = it->second;
+  if (!any_alive()) {
+    fail_ticket(ticket, FailReason::kCardDeath);
+    return;
+  }
+  const unsigned card = route(state.function);
+  Shard& shard = shards_[card];
+  ++shard.dispatched;
+  ++state.attempts;
+  state.on_card = true;
+  state.card = card;
+  // The payload moves onto the card; try_cancel/power_off hand it back if
+  // the request has to be pulled.  The fleet ALWAYS wraps the completion
+  // freshly per dispatch — a refugee's old wrapper is never reused (it
+  // would fire the ticket bookkeeping twice).
+  state.card_request = shard.server->submit_function_at(
+      now(), state.client, state.function, std::move(state.input),
+      [this, ticket](const ServerRequest& r) { on_card_complete(ticket, r); });
+  state.input = Bytes();
+  if (retry_.timeout > sim::SimTime::zero())
+    state.timeout_event = scheduler_.schedule_at(
+        now() + retry_.timeout, [this, ticket] { on_timeout(ticket); });
+}
+
+void CoprocessorFleet::on_card_complete(std::uint64_t ticket,
+                                        const ServerRequest& request) {
+  const auto it = tickets_.find(ticket);
+  AAD_CHECK(it != tickets_.end(), "completion for an unknown ticket");
+  const Completion done = std::move(it->second.done);
+  if (it->second.timeout_event)
+    scheduler_.cancel(*it->second.timeout_event);
+  tickets_.erase(it);
+  // Card-level outcomes — success or failure (a CRC reject the MCU's
+  // re-fetch could not repair) — are terminal: a corrupted ROM payload is
+  // per-card persistent state, not a transient worth burning retries on.
+  if (done) done(request);
+}
+
+void CoprocessorFleet::on_timeout(std::uint64_t ticket) {
+  const auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return;  // completed at this same instant
+  TicketState& state = it->second;
+  state.timeout_event.reset();
+  auto cancelled = shards_[state.card].server->try_cancel(state.card_request);
+  if (!cancelled) {
+    // Committed: the engine/fabric windows are booked and the result will
+    // arrive — cancelling now would waste real device work.  Let it ride;
+    // only a card death can still unwind it.
+    return;
+  }
+  ++timeouts_;
+  state.on_card = false;
+  state.input = std::move(cancelled->input);
+  if (state.attempts > retry_.max_retries) {
+    fail_ticket(ticket, FailReason::kTimeout);
+    return;
+  }
+  ++retries_;
+  ++undispatched_;
+  const double scale =
+      std::pow(retry_.backoff, static_cast<double>(state.attempts - 1));
+  const sim::SimTime delay = sim::SimTime::ps(static_cast<std::int64_t>(
+      static_cast<double>(retry_.backoff_base.picoseconds()) * scale));
+  scheduler_.schedule_at(now() + delay,
+                         [this, ticket] { dispatch_ticket(ticket); });
+}
+
+void CoprocessorFleet::fail_ticket(std::uint64_t ticket, FailReason reason) {
+  const auto it = tickets_.find(ticket);
+  AAD_CHECK(it != tickets_.end(), "failing an unknown ticket");
+  TicketState state = std::move(it->second);
+  tickets_.erase(it);
+  if (state.timeout_event) scheduler_.cancel(*state.timeout_event);
+  ++failed_;
+  ServerRequest failed;
+  failed.id = ticket;
+  failed.client = state.client;
+  failed.function = state.function;
+  failed.submit_time = state.submit_time;
+  failed.complete_time = now();
+  failed.failed = true;
+  failed.fail_reason = reason;
+  if (state.done) state.done(failed);
+}
+
+void CoprocessorFleet::kill_card(unsigned index) {
+  AAD_REQUIRE(index < card_count(), "card index out of range");
+  Shard& shard = shards_[index];
+  if (!shard.alive) return;
+  shard.alive = false;
+  ++shard.deaths;
+  ++deaths_;
+  std::vector<CoprocessorServer::CancelledRequest> refugees =
+      shard.server->power_off();
+  const bool survivors = any_alive();
+  for (auto& refugee : refugees) {
+    // Match the refugee back to its fleet ticket.
+    std::uint64_t ticket = 0;
+    bool matched = false;
+    for (const auto& [tid, st] : tickets_) {
+      if (st.on_card && st.card == index && st.card_request == refugee.id) {
+        ticket = tid;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // Submitted directly through the exposed per-card server: the fleet
+      // has no ticket (and no retry budget) for it — surface the failure
+      // through its own hook.
+      ++failed_;
+      ServerRequest failed;
+      failed.id = refugee.id;
+      failed.client = refugee.client;
+      failed.function = refugee.function;
+      failed.submit_time = refugee.submit_time;
+      failed.complete_time = now();
+      failed.failed = true;
+      failed.fail_reason = FailReason::kCardDeath;
+      if (refugee.done) refugee.done(failed);
+      continue;
+    }
+    TicketState& state = tickets_.at(ticket);
+    if (state.timeout_event) {
+      scheduler_.cancel(*state.timeout_event);
+      state.timeout_event.reset();
+    }
+    state.on_card = false;
+    state.input = std::move(refugee.input);
+    // refugee.done is the fleet's own wrapper from dispatch_ticket —
+    // dropped here; redispatch installs a fresh one.
+    if (survivors) {
+      ++redispatched_;
+      ++undispatched_;
+      scheduler_.schedule_at(now(),
+                             [this, ticket] { dispatch_ticket(ticket); });
+    } else {
+      fail_ticket(ticket, FailReason::kCardDeath);
+    }
+  }
+}
+
+void CoprocessorFleet::revive_card(unsigned index) {
+  AAD_REQUIRE(index < card_count(), "card index out of range");
+  // power_off already erased the fabric; the card rejoins dispatch cold.
+  // The ROM — host-programmed flash — survived the outage.
+  shards_[index].alive = true;
+}
+
 unsigned CoprocessorFleet::least_queued() const {
-  // Lowest card index among the minima keeps ties deterministic.
+  // Lowest ALIVE card index among the minima keeps ties deterministic;
+  // callers never route to a dead card (dispatch_ticket fails the request
+  // up front when nothing is alive, so `found` only misses then).
   unsigned best = 0;
-  for (unsigned i = 1; i < card_count(); ++i)
-    if (shards_[i].server->in_flight() < shards_[best].server->in_flight())
+  bool found = false;
+  for (unsigned i = 0; i < card_count(); ++i) {
+    if (!shards_[i].alive) continue;
+    if (!found ||
+        shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
       best = i;
+      found = true;
+    }
+  }
   return best;
 }
 
@@ -101,8 +312,16 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
   affinity_hit = false;
   delta_hit = false;
   switch (policy_) {
-    case DispatchPolicy::kRoundRobin:
+    case DispatchPolicy::kRoundRobin: {
+      // First alive card at or after the cursor (all alive: the cursor
+      // itself, exactly the fault-free behavior).
+      for (unsigned k = 0; k < card_count(); ++k) {
+        const unsigned i =
+            static_cast<unsigned>((rr_cursor_ + k) % shards_.size());
+        if (shards_[i].alive) return i;
+      }
       return static_cast<unsigned>(rr_cursor_ % shards_.size());
+    }
     case DispatchPolicy::kLeastQueued:
       return least_queued();
     case DispatchPolicy::kResidencyAffinity: {
@@ -114,6 +333,7 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
       bool found = false;
       unsigned best = 0;
       for (unsigned i = 0; i < card_count(); ++i) {
+        if (!shards_[i].alive) continue;
         if (!shards_[i].server->open_batch_for(function)) continue;
         if (!found ||
             shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
@@ -132,6 +352,7 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
       // residency-at-arrival is the cheap, driver-visible signal —
       // mispredictions just cost one reconfiguration.
       for (unsigned i = 0; i < card_count(); ++i) {
+        if (!shards_[i].alive) continue;
         if (!shards_[i].card->mcu().is_resident(function) &&
             !shards_[i].server->function_inbound(function))
           continue;
@@ -155,6 +376,7 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
       if (cost_routing_) {
         sim::SimTime best_cost;
         for (unsigned i = 0; i < card_count(); ++i) {
+          if (!shards_[i].alive) continue;
           const mcu::Mcu& mcu = shards_[i].card->mcu();
           if (!mcu.config().engine.delta_reconfig) continue;
           const mcu::LoadEstimate est = mcu.estimate_load(function);
@@ -235,6 +457,11 @@ FleetStats CoprocessorFleet::stats() const {
   stats.affinity_routed = affinity_routed_;
   stats.delta_routed = delta_routed_;
   stats.affinity_fallback = affinity_fallback_;
+  stats.deaths = deaths_;
+  stats.redispatched = redispatched_;
+  stats.retries = retries_;
+  stats.timeouts = timeouts_;
+  stats.failed = failed_;  // card-level failures are added per shard below
   stats.cards.reserve(shards_.size());
 
   bool any = false;
@@ -249,7 +476,10 @@ FleetStats CoprocessorFleet::stats() const {
     card.dispatched = shard.dispatched;
     card.queue_depth = shard.server->in_flight();
     card.resident = shard.card->mcu().resident_count();
+    card.alive = shard.alive;
+    card.deaths = shard.deaths;
     for (const ServerRequest& r : shard.server->completed()) {
+      if (r.failed) continue;  // no device timeline to attribute
       r.load.hit ? ++card.config_hits : ++card.config_misses;
       if (!any || r.submit_time < first_submit) first_submit = r.submit_time;
       if (!any || r.complete_time > last_complete)
@@ -276,6 +506,9 @@ FleetStats CoprocessorFleet::stats() const {
     stats.total_amortized_reconfig += card.server.total_amortized_reconfig;
     stats.frames_skipped_delta += card.server.frames_skipped_delta;
     stats.bytes_streamed += card.server.bytes_streamed;
+    stats.failed += card.server.failed;
+    stats.crc_rejects += card.server.crc_rejects;
+    stats.refetches += card.server.refetches;
     for (const auto& [codec, picks] : card.server.codec_picks)
       stats.codec_picks[codec] += picks;
     stats.cards.push_back(std::move(card));

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "core/server.h"
+#include "sim/fault.h"
 
 namespace aad::core {
 
@@ -68,6 +69,20 @@ enum class DispatchPolicy {
 
 const char* to_string(DispatchPolicy policy);
 
+/// Request watchdog at the fleet edge.  A dispatched request that has not
+/// completed within `timeout` is pulled back (CoprocessorServer::try_cancel
+/// — a committed request rides to completion instead) and redispatched
+/// after an exponentially growing backoff, up to `max_retries` extra
+/// attempts; exhaustion surfaces the request as failed (FailReason::
+/// kTimeout).  `timeout` zero disables the watchdog entirely — the fleet's
+/// dispatch path is then byte-identical to the fault-free build.
+struct RetryConfig {
+  sim::SimTime timeout;               ///< zero = watchdog disabled
+  unsigned max_retries = 2;           ///< redispatches after the first try
+  double backoff = 2.0;               ///< delay multiplier per retry
+  sim::SimTime backoff_base = sim::SimTime::us(100);  ///< first retry delay
+};
+
 struct FleetConfig {
   unsigned cards = 2;
   DispatchPolicy policy = DispatchPolicy::kResidencyAffinity;
@@ -88,6 +103,15 @@ struct FleetConfig {
   /// turn it off to compare binary residency-affinity against
   /// cheapest-expected-reconfig routing (bench_codec does).
   bool cost_routing = true;
+  /// Declarative fault schedule (sim/fault.h): card deaths + recoveries and
+  /// ROM corruptions.  Armed lazily at the FIRST fleet submission — plan
+  /// times are relative to that instant, so provisioning time (which varies
+  /// with the function set) never shifts the schedule.  An empty plan adds
+  /// no events and changes nothing.
+  sim::FaultPlan faults;
+  /// Timeout + bounded-retry watchdog (see RetryConfig).  Disabled (zero
+  /// timeout) by default.
+  RetryConfig retry;
 };
 
 /// One card's view of the fleet, captured by CoprocessorFleet::stats().
@@ -100,6 +124,8 @@ struct FleetCardStats {
   double hit_rate = 0.0;         ///< hits / completed
   std::size_t queue_depth = 0;   ///< in-flight on this card right now
   std::size_t resident = 0;      ///< functions on this card's fabric now
+  bool alive = true;             ///< powered on right now
+  std::uint64_t deaths = 0;      ///< times this card died (FaultPlan)
 };
 
 struct FleetStats {
@@ -137,6 +163,18 @@ struct FleetStats {
                                         ///< load (partial frame match)
   std::uint64_t affinity_fallback = 0;  ///< no card held or was loading it:
                                         ///< least-queued
+  // Fault injection + recovery (zero in a fault-free run):
+  std::uint64_t deaths = 0;        ///< card power-offs, fleet-wide
+  std::uint64_t redispatched = 0;  ///< refugees resubmitted to a survivor
+  std::uint64_t retries = 0;       ///< watchdog-driven redispatches
+  std::uint64_t timeouts = 0;      ///< watchdog expirations that pulled a
+                                   ///< request back (committed ones ride)
+  /// Terminal failures surfaced to the submitter: fleet-level (no survivor,
+  /// retries exhausted) plus card-level (CRC rejects).  Every submitted
+  /// request ends in exactly one of completed/failed.
+  std::uint64_t failed = 0;
+  std::uint64_t crc_rejects = 0;   ///< corrupted-bitstream load rejections
+  std::uint64_t refetches = 0;     ///< ROM repairs from the pristine copy
   std::vector<FleetCardStats> cards;    ///< per-card breakdown, by index
 };
 
@@ -215,11 +253,48 @@ class CoprocessorFleet {
   /// Fleet-wide totals plus the per-card breakdown.
   FleetStats stats() const;
 
+  // --- fault injection + recovery ------------------------------------------
+  // FleetConfig::faults drives these through scheduled events; they are
+  // public so tests and harnesses can inject faults imperatively too.
+
+  /// Power the card off NOW: every pending event on its pipeline is
+  /// cancelled, its fabric erased (recovery starts cold), and every request
+  /// it held — queued or committed — is redispatched to a surviving card
+  /// (at-least-once: a committed request's device work is lost and redone)
+  /// or failed with FailReason::kCardDeath when no card survives.  No-op on
+  /// an already-dead card.
+  void kill_card(unsigned index);
+  /// Power the card back on.  It rejoins dispatch with a cold fabric; the
+  /// ROM (host-provisioned flash) survives the outage.
+  void revive_card(unsigned index);
+  bool card_alive(unsigned index) const {
+    AAD_REQUIRE(index < card_count(), "card index out of range");
+    return shards_[index].alive;
+  }
+
  private:
   struct Shard {
     std::unique_ptr<AgileCoprocessor> card;
     std::unique_ptr<CoprocessorServer> server;
     std::uint64_t dispatched = 0;
+    bool alive = true;
+    std::uint64_t deaths = 0;
+  };
+  /// Fleet-edge bookkeeping for one in-flight ticket (fault mode only).
+  /// The payload lives HERE only while the ticket is between cards (pulled
+  /// back, awaiting redispatch); on a card, the server holds it and hands
+  /// it back through try_cancel/power_off.
+  struct TicketState {
+    unsigned client = 0;
+    memory::FunctionId function = 0;
+    Bytes input;
+    Completion done;               ///< the submitter's hook (fired once)
+    sim::SimTime submit_time;
+    unsigned attempts = 0;         ///< dispatches so far
+    bool on_card = false;
+    unsigned card = 0;             ///< valid while on_card
+    std::uint64_t card_request = 0;
+    std::optional<sim::EventId> timeout_event;
   };
 
   unsigned least_queued() const;
@@ -229,6 +304,15 @@ class CoprocessorFleet {
   unsigned route(memory::FunctionId function);
   void dispatch(unsigned client, memory::FunctionId function, Bytes input,
                 Completion done);
+  bool any_alive() const;
+  /// Schedule the fault plan's events, offset by now() (first submission).
+  void arm_faults();
+  void dispatch_ticket(std::uint64_t ticket);
+  void on_card_complete(std::uint64_t ticket, const ServerRequest& request);
+  void on_timeout(std::uint64_t ticket);
+  /// Terminal failure: synthesize a failed ServerRequest and fire the
+  /// submitter's hook exactly once.
+  void fail_ticket(std::uint64_t ticket, FailReason reason);
 
   DispatchPolicy policy_;
   bool cost_routing_;
@@ -240,6 +324,19 @@ class CoprocessorFleet {
   std::uint64_t affinity_routed_ = 0;
   std::uint64_t delta_routed_ = 0;
   std::uint64_t affinity_fallback_ = 0;
+  // Fault machinery.  fault_mode_ gates the ticket-tracking dispatch path:
+  // off (empty plan, zero timeout), submissions flow exactly as before —
+  // the fault subsystem costs the fault-free build nothing.
+  bool fault_mode_ = false;
+  bool faults_armed_ = false;
+  sim::FaultPlan faults_;
+  RetryConfig retry_;
+  std::map<std::uint64_t, TicketState> tickets_;
+  std::uint64_t deaths_ = 0;
+  std::uint64_t redispatched_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t failed_ = 0;  ///< fleet-level terminal failures
 };
 
 }  // namespace aad::core

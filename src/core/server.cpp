@@ -95,12 +95,103 @@ std::uint64_t CoprocessorServer::submit_function_at(sim::SimTime when,
   p.request.submit_time = when;
   p.input = std::move(input);
   p.done = std::move(done);
-  queue_.emplace(id, std::move(p));
+  Pending& entry = queue_.emplace(id, std::move(p)).first->second;
   ++inbound_[function];
   ++in_flight_;
   ++submitted_;
-  card_.scheduler().schedule_at(when, [this, id] { begin_pci_in(id); });
+  entry.chain_event = schedule(when, [this, id] { begin_pci_in(id); });
   return id;
+}
+
+sim::EventId CoprocessorServer::schedule(sim::SimTime when,
+                                         std::function<void()> action) {
+  // The holder lets the wrapper erase its own ledger entry when it fires;
+  // power_off cancels whatever ids remain in the ledger.
+  auto holder = std::make_shared<sim::EventId>(0);
+  const sim::EventId id = card_.scheduler().schedule_at(
+      when, [this, holder, action = std::move(action)] {
+        scheduled_.erase(*holder);
+        action();
+      });
+  *holder = id;
+  scheduled_.insert(id);
+  return id;
+}
+
+std::optional<CoprocessorServer::CancelledRequest> CoprocessorServer::try_cancel(
+    std::uint64_t id) {
+  const auto it = queue_.find(id);
+  if (it == queue_.end()) return std::nullopt;  // already completed
+  Pending& p = it->second;
+  if (p.committed) return std::nullopt;  // engine/fabric windows are booked
+  const auto queued = std::find(device_queue_.begin(), device_queue_.end(), id);
+  if (queued != device_queue_.end()) {
+    device_queue_.erase(queued);
+  } else {
+    // Still riding its submit -> pci-in -> device_ready chain.
+    AAD_CHECK(p.chain_event.has_value(),
+              "uncommitted request has no pending event");
+    card_.scheduler().cancel(*p.chain_event);
+    scheduled_.erase(*p.chain_event);
+  }
+  const auto inbound = inbound_.find(p.request.function);
+  AAD_CHECK(inbound != inbound_.end(), "inbound accounting out of sync");
+  if (--inbound->second == 0) inbound_.erase(inbound);
+  // If this was the open batch's last queued member, retire the anchor so
+  // open_batch_for stops advertising a batch nobody can join.
+  if (hold_anchors_.contains(p.request.function)) {
+    bool still_queued = false;
+    for (const std::uint64_t ready_id : device_queue_)
+      if (queue_.at(ready_id).request.function == p.request.function) {
+        still_queued = true;
+        break;
+      }
+    if (!still_queued) hold_anchors_.erase(p.request.function);
+  }
+  CancelledRequest out;
+  out.id = id;
+  out.client = p.request.client;
+  out.function = p.request.function;
+  out.input = std::move(p.input);
+  out.done = std::move(p.done);
+  out.submit_time = p.request.submit_time;
+  queue_.erase(it);
+  --in_flight_;
+  ++cancelled_;
+  return out;
+}
+
+std::vector<CoprocessorServer::CancelledRequest>
+CoprocessorServer::power_off() {
+  // Cancel the whole event ledger first: a dead card's pipeline must not
+  // fire another event (and the cancelled callbacks' captured payloads are
+  // released immediately).
+  for (const sim::EventId event : scheduled_) card_.scheduler().cancel(event);
+  scheduled_.clear();
+  std::vector<CancelledRequest> refugees;
+  refugees.reserve(queue_.size());
+  for (auto& [id, p] : queue_) {
+    CancelledRequest r;
+    r.id = id;
+    r.client = p.request.client;
+    r.function = p.request.function;
+    r.input = std::move(p.input);
+    r.done = std::move(p.done);
+    r.submit_time = p.request.submit_time;
+    refugees.push_back(std::move(r));
+  }
+  cancelled_ += queue_.size();
+  queue_.clear();
+  device_queue_.clear();
+  inbound_.clear();
+  hold_anchors_.clear();
+  executing_.clear();
+  pump_wake_.reset();
+  engine_free_ = sim::SimTime::zero();
+  fabric_free_ = sim::SimTime::zero();
+  in_flight_ = 0;
+  card_.mcu().reset_fabric();  // recovery starts with a cold fabric
+  return refugees;
 }
 
 void CoprocessorServer::begin_pci_in(std::uint64_t id) {
@@ -117,11 +208,13 @@ void CoprocessorServer::begin_pci_in(std::uint64_t id) {
   p.request.bus_wait += grant.queue_delay;
   card_.trace().record(sim::Stage::kHostPci, "server/in", grant.start,
                        grant.end);
-  card_.scheduler().schedule_at(grant.end, [this, id] { device_ready(id); });
+  p.chain_event = schedule(grant.end, [this, id] { device_ready(id); });
 }
 
 void CoprocessorServer::device_ready(std::uint64_t id) {
-  pending(id).request.device_ready = now();
+  Pending& p = pending(id);
+  p.chain_event.reset();  // from here the device queue carries the request
+  p.request.device_ready = now();
   device_queue_.push_back(id);
   pump_device();
 }
@@ -129,7 +222,7 @@ void CoprocessorServer::device_ready(std::uint64_t id) {
 void CoprocessorServer::schedule_pump(sim::SimTime when) {
   if (pump_wake_ && *pump_wake_ <= when) return;  // already covered
   pump_wake_ = when;
-  card_.scheduler().schedule_at(when, [this, when] {
+  schedule(when, [this, when] {
     if (pump_wake_ == when) pump_wake_.reset();
     // A superseded (later) wake-up still fires; pump_device just finds the
     // queue empty or the device busy and re-arms as needed.
@@ -350,8 +443,17 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
   sim::SimTime load_elapsed;
   {
     PinGuard guard(mcu, std::move(pins));
-    p.request.load = mcu.load_invoke(p.request.function, load_start,
-                                     &load_elapsed);
+    try {
+      p.request.load = mcu.load_invoke(p.request.function, load_start,
+                                       &load_elapsed);
+    } catch (const Error& error) {
+      if (error.code() != ErrorCode::kCorruptData) throw;
+      // Corrupted bitstream the MCU's re-fetch path could not repair: the
+      // fabric is untouched (decode-before-program), so nothing to unwind
+      // on the device — the whole batch surfaces as failed right now.
+      fail_batch(batch, FailReason::kCrcReject);
+      return true;  // batch consumed: the pump must drop it from the queue
+    }
   }
   // The load has committed: from here on Mcu::is_resident carries the
   // routing signal, so the inbound marker retires (were it kept through
@@ -380,15 +482,16 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
   p.request.execute_time = run.time;
   p.request.exec_cycles = run.exec_cycles;
   p.request.output = std::move(run.output);
-  Bytes().swap(p.input);  // payload has been consumed by the card
+  // The input payload stays on the Pending: a card death after commit hands
+  // it back as a refugee for redispatch (at-least-once semantics).
+  p.committed = true;
 
   engine_free_ = engine_end;
   fabric_free_ = fabric_start + run.time;
   executing_.push_back({fabric_free_, p.request.function});
   {
     const std::uint64_t leader_id = batch.front();
-    card_.scheduler().schedule_at(
-        fabric_free_, [this, leader_id] { begin_pci_out(leader_id); });
+    schedule(fabric_free_, [this, leader_id] { begin_pci_out(leader_id); });
   }
 
   // The coalesced members: no engine occupancy at all — they ride the
@@ -427,12 +530,11 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
     q.request.execute_time = member_run.time;
     q.request.exec_cycles = member_run.exec_cycles;
     q.request.output = std::move(member_run.output);
-    Bytes().swap(q.input);
+    q.committed = true;
 
     fabric_free_ = member_start + member_run.time;
     executing_.push_back({fabric_free_, function});
-    card_.scheduler().schedule_at(
-        fabric_free_, [this, member_id] { begin_pci_out(member_id); });
+    schedule(fabric_free_, [this, member_id] { begin_pci_out(member_id); });
 
     ++coalesced_loads_;
     amortized_reconfig_ += leader_prepare;
@@ -444,10 +546,23 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
   // refcounted, so this composes with the per-load PinGuards above).
   if (batch.size() > 1) {
     mcu.pin(function);
-    card_.scheduler().schedule_at(
-        fabric_free_, [this, function] { card_.mcu().unpin(function); });
+    schedule(fabric_free_, [this, function] { card_.mcu().unpin(function); });
   }
   return true;
+}
+
+void CoprocessorServer::fail_batch(const std::vector<std::uint64_t>& batch,
+                                   FailReason reason) {
+  for (const std::uint64_t member : batch) {
+    Pending& q = pending(member);
+    q.committed = true;  // terminal: a timeout cancel must not race this
+    const auto inbound = inbound_.find(q.request.function);
+    AAD_CHECK(inbound != inbound_.end(), "inbound accounting out of sync");
+    if (--inbound->second == 0) inbound_.erase(inbound);
+    q.request.failed = true;
+    q.request.fail_reason = reason;
+    complete(member);
+  }
 }
 
 void CoprocessorServer::begin_pci_out(std::uint64_t id) {
@@ -461,7 +576,7 @@ void CoprocessorServer::begin_pci_out(std::uint64_t id) {
   p.request.bus_wait += grant.queue_delay;
   card_.trace().record(sim::Stage::kHostPci, "server/out", grant.start,
                        grant.end);
-  card_.scheduler().schedule_at(grant.end, [this, id] { complete(id); });
+  schedule(grant.end, [this, id] { complete(id); });
 }
 
 void CoprocessorServer::complete(std::uint64_t id) {
@@ -485,7 +600,7 @@ std::size_t CoprocessorServer::run_until(sim::SimTime deadline) {
 ServerStats CoprocessorServer::stats() const {
   ServerStats stats;
   stats.submitted = submitted_;
-  stats.completed = completed_.size();
+  stats.cancelled = cancelled_;
   stats.batches = next_batch_id_;
   stats.coalesced_loads = coalesced_loads_;
   stats.total_amortized_reconfig = amortized_reconfig_;
@@ -494,13 +609,26 @@ ServerStats CoprocessorServer::stats() const {
   stats.frames_skipped_delta = device.frames_skipped_delta;
   stats.bytes_streamed = device.compressed_bytes_streamed;
   stats.codec_picks = device.codec_picks;
-  if (completed_.empty()) return stats;
+  stats.crc_rejects = device.crc_rejects;
+  stats.refetches = device.refetches;
 
-  sim::SimTime first_submit = completed_.front().submit_time;
-  sim::SimTime last_complete = completed_.front().complete_time;
+  // Latency/throughput/wait statistics cover SUCCESSFUL requests only;
+  // failed records are done (their hooks fired) but have no meaningful
+  // device timeline.
+  sim::SimTime first_submit, last_complete;
+  bool any = false;
   std::vector<sim::SimTime> latencies;
   latencies.reserve(completed_.size());
   for (const ServerRequest& r : completed_) {
+    if (r.failed) {
+      ++stats.failed;
+      continue;
+    }
+    if (!any) {
+      any = true;
+      first_submit = r.submit_time;
+      last_complete = r.complete_time;
+    }
     first_submit = std::min(first_submit, r.submit_time);
     last_complete = std::max(last_complete, r.complete_time);
     latencies.push_back(r.latency());
@@ -511,10 +639,12 @@ ServerStats CoprocessorServer::stats() const {
     stats.total_hidden_reconfig += r.hidden_reconfig;
     if (r.hidden_reconfig > sim::SimTime::zero()) ++stats.overlapped_loads;
   }
+  stats.completed = completed_.size() - stats.failed;
+  if (!any) return stats;
   stats.makespan = last_complete - first_submit;
   if (stats.makespan > sim::SimTime::zero())
     stats.throughput_rps =
-        static_cast<double>(completed_.size()) / stats.makespan.seconds();
+        static_cast<double>(stats.completed) / stats.makespan.seconds();
   stats.latency = summarize_latencies(std::move(latencies));
   return stats;
 }

@@ -63,6 +63,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/batch_policy.h"
@@ -70,6 +71,14 @@
 #include "core/device_scheduler.h"
 
 namespace aad::core {
+
+/// Why a request surfaced as failed instead of completing with output.
+enum class FailReason : std::uint8_t {
+  kNone = 0,
+  kCardDeath,   ///< the card powered off with the request on it, no survivor
+  kTimeout,     ///< the fleet's watchdog expired and retries were exhausted
+  kCrcReject,   ///< corrupted bitstream: load rejected even after re-fetch
+};
 
 /// One completed (or in-flight) request, with its full time breakdown.
 struct ServerRequest {
@@ -111,6 +120,12 @@ struct ServerRequest {
   /// zero; the load was the batch leader's).
   bool coalesced_load = false;
 
+  /// Terminal failure: the request is done (its completion hook fired
+  /// exactly once) but produced no output.  Failed records are excluded
+  /// from latency/throughput statistics.
+  bool failed = false;
+  FailReason fail_reason = FailReason::kNone;
+
   sim::SimTime latency() const noexcept { return complete_time - submit_time; }
 };
 
@@ -140,7 +155,12 @@ inline double mean_batch_size(std::uint64_t batches,
 
 struct ServerStats {
   std::uint64_t submitted = 0;
-  std::uint64_t completed = 0;
+  std::uint64_t completed = 0;   ///< successfully (failed ones not counted)
+  std::uint64_t failed = 0;      ///< surfaced as failed (CRC reject, ...)
+  std::uint64_t cancelled = 0;   ///< pulled back before commit (timeout
+                                 ///< redispatch) or orphaned by power_off
+  std::uint64_t crc_rejects = 0; ///< MCU-level corrupted-bitstream rejects
+  std::uint64_t refetches = 0;   ///< pristine-stream ROM repairs that worked
   sim::SimTime makespan;         ///< first submission -> last completion
   double throughput_rps = 0.0;   ///< completed per simulated second
   LatencySummary latency;        ///< over completed requests
@@ -256,11 +276,47 @@ class CoprocessorServer {
   ServerStats stats() const;
   AgileCoprocessor& card() noexcept { return card_; }
 
+  // --- fault injection + recovery ------------------------------------------
+
+  /// Everything the dispatcher needs to retry a pulled-back request
+  /// elsewhere: the original payload and the caller's completion hook.
+  struct CancelledRequest {
+    std::uint64_t id = 0;
+    unsigned client = 0;
+    memory::FunctionId function = 0;
+    Bytes input;
+    Completion done;
+    sim::SimTime submit_time;
+  };
+
+  /// Pull an in-flight request back BEFORE its device commit (the fleet's
+  /// timeout watchdog).  Pending pipeline events are cancelled, the inbound
+  /// marker and any now-stale batch hold anchor are unwound, and the
+  /// payload + completion hook are returned for redispatch.  Returns
+  /// nullopt — the request rides to completion here — when it is unknown,
+  /// already done, or its batch has committed to the engine/fabric.
+  std::optional<CancelledRequest> try_cancel(std::uint64_t id);
+
+  /// Card death: cancel every pending event this server scheduled, wipe all
+  /// queue state, and erase the fabric (mcu::Mcu::reset_fabric — recovery
+  /// starts cold).  EVERY in-flight request — queued or committed — comes
+  /// back as a refugee for the dispatcher to redispatch or fail.  Committed
+  /// ones may already have produced device-side work that is now lost, so
+  /// fleet-level redispatch is at-least-once, never at-most-once.
+  std::vector<CancelledRequest> power_off();
+
  private:
   struct Pending {
     ServerRequest request;
     Bytes input;
     Completion done;
+    /// Device commit happened: the engine/fabric windows are booked and the
+    /// request can no longer be cancelled (only card death unwinds it).
+    bool committed = false;
+    /// The one pending pipeline event carrying this request (submit ->
+    /// pci-in -> device_ready); unset while it sits in the device queue or
+    /// after commit.
+    std::optional<sim::EventId> chain_event;
   };
   /// A committed fabric window: `function` owns the fabric until `end` and
   /// must be pinned against eviction by any load overlapping that window.
@@ -297,6 +353,13 @@ class CoprocessorServer {
   void begin_pci_out(std::uint64_t id);
   void complete(std::uint64_t id);
   Pending& pending(std::uint64_t id);
+  /// Fail the whole batch terminally (corrupted bitstream): every member
+  /// completes NOW with failed=true and no engine/fabric time charged.
+  void fail_batch(const std::vector<std::uint64_t>& batch, FailReason reason);
+  /// schedule_at through the server's event ledger, so power_off can cancel
+  /// everything this server has in flight without touching other users of
+  /// the (possibly shared) scheduler.
+  sim::EventId schedule(sim::SimTime when, std::function<void()> action);
 
   AgileCoprocessor& card_;
   ServerConfig config_;
@@ -321,6 +384,10 @@ class CoprocessorServer {
   std::map<memory::FunctionId, sim::SimTime> hold_anchors_;
   std::vector<ServerRequest> completed_;
   std::uint64_t submitted_ = 0;
+  std::uint64_t cancelled_ = 0;
+  /// Ids of every event this server has scheduled and not yet seen fire —
+  /// the ledger power_off cancels.
+  std::set<sim::EventId> scheduled_;
   // Commit-time batch accounting (see ServerStats).
   std::uint64_t next_batch_id_ = 0;
   std::uint64_t coalesced_loads_ = 0;

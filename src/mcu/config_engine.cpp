@@ -19,7 +19,7 @@ ConfigureResult ConfigEngine::configure(
     const memory::RomImage& rom, const memory::RomRecord& record,
     std::span<const fabric::FrameIndex> targets, fabric::Fabric& fabric,
     const memory::RomTiming& rom_timing, sim::Trace* trace,
-    sim::SimTime start) {
+    sim::SimTime start, std::uint32_t expected_raw_crc) {
   const auto& geometry = fabric.geometry();
   AAD_REQUIRE(record.frames == targets.size(),
               "target frame count does not match the record footprint");
@@ -63,23 +63,39 @@ ConfigureResult ConfigEngine::configure(
   result.compressed_bytes = compressed.size();
   result.raw_bytes = record.raw_size;
 
-  // Pipeline recurrence over the three stages.
-  sim::SimTime rom_done = start;
-  sim::SimTime dec_done = start;
-  sim::SimTime cfg_done = start;
-
-  Bytes window(frame_bytes);
-  for (std::size_t w = 0; w < windows; ++w) {
-    // Exact data path: pull one frame-sized window from the decompressor.
+  // Decode-before-program: pull the WHOLE image out of the decompressor
+  // and verify it up front.  A truncated, overlong or CRC-divergent stream
+  // is rejected here — before any frame is programmed or any tracker entry
+  // updated — so a corrupted bitstream can never leave garbage frames on
+  // the fabric.  The timing recurrence below is unchanged: the real module
+  // still streams window by window; only the failure atomicity differs.
+  Bytes raw(static_cast<std::size_t>(windows) * frame_bytes);
+  {
     std::size_t got = 0;
-    while (got < frame_bytes) {
-      const std::size_t n = stream->read(
-          std::span<Byte>(window.data() + got, frame_bytes - got));
+    while (got < raw.size()) {
+      const std::size_t n =
+          stream->read(std::span<Byte>(raw.data() + got, raw.size() - got));
       if (n == 0)
         AAD_FAIL(ErrorCode::kCorruptData,
                  "configuration stream ended mid-frame");
       got += n;
     }
+    Byte probe;
+    if (stream->read(std::span<Byte>(&probe, 1)) != 0)
+      AAD_FAIL(ErrorCode::kCorruptData,
+               "configuration stream longer than the record footprint");
+    if (expected_raw_crc != 0 && Crc32::compute(raw) != expected_raw_crc)
+      AAD_FAIL(ErrorCode::kCorruptData,
+               "decoded function image CRC mismatch");
+  }
+
+  // Pipeline recurrence over the three stages.
+  sim::SimTime rom_done = start;
+  sim::SimTime dec_done = start;
+  sim::SimTime cfg_done = start;
+
+  for (std::size_t w = 0; w < windows; ++w) {
+    const ByteSpan window(raw.data() + w * frame_bytes, frame_bytes);
     const auto words = bitstream::bytes_to_words(window);
 
     // Delta flow: the frame table says this frame already holds exactly
@@ -142,10 +158,6 @@ ConfigureResult ConfigEngine::configure(
                     cfg_begin, cfg_done);
     }
   }
-  Byte probe;
-  if (stream->read(std::span<Byte>(&probe, 1)) != 0)
-    AAD_FAIL(ErrorCode::kCorruptData,
-             "configuration stream longer than the record footprint");
 
   result.total = cfg_done - start;
   result.frames_written = windows - result.frames_skipped;

@@ -78,12 +78,22 @@ class ConfigEngine {
   /// window, in logical order).  Returns the pipelined timing breakdown.
   /// Throws kCorruptData on CRC mismatch or malformed stream,
   /// kInvalidArgument when the record's footprint does not match `targets`.
+  ///
+  /// The whole image is decoded and verified BEFORE the first frame is
+  /// programmed: a corrupted bitstream is rejected cleanly — the fabric,
+  /// the frame-hash tracker and the caller's bookkeeping are untouched —
+  /// instead of leaving garbage frames behind a mid-stream failure.  When
+  /// `expected_raw_crc` is nonzero it is checked (via common/crc32)
+  /// against the full decoded image, catching decode divergence the
+  /// compressed-payload CRC cannot see; zero skips the check (callers
+  /// without provisioning-time metadata).
   ConfigureResult configure(const memory::RomImage& rom,
                             const memory::RomRecord& record,
                             std::span<const fabric::FrameIndex> targets,
                             fabric::Fabric& fabric,
                             const memory::RomTiming& rom_timing,
-                            sim::Trace* trace, sim::SimTime start);
+                            sim::Trace* trace, sim::SimTime start,
+                            std::uint32_t expected_raw_crc = 0);
 
   const ConfigEngineConfig& config() const noexcept { return config_; }
 

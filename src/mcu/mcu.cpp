@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/crc32.h"
+
 namespace aad::mcu {
 namespace {
 
@@ -113,6 +115,12 @@ memory::RomRecord Mcu::store_function(memory::FunctionId id,
                                                    memory::kRecordBytes));
   trace_.record(sim::Stage::kRom, bs.info.name + "/program", begin,
                 scheduler_.now());
+
+  // Host-driver recovery metadata: the decoded-image CRC every load is
+  // verified against, and the pristine stream the re-fetch path restores
+  // after a ROM corruption is caught.
+  raw_crcs_[id] = Crc32::compute(raw);
+  pristine_[id] = std::move(compressed);
   return stored;
 }
 
@@ -209,8 +217,9 @@ DefragResult Mcu::defragment_at(sim::SimTime start) {
     }
     free_list_.release(fn.frames);
     free_list_.claim(target);
-    const ConfigureResult cfg = engine_.configure(
-        rom_, fn.record, target, fabric_, config_.rom_timing, &trace_, t);
+    const ConfigureResult cfg =
+        engine_.configure(rom_, fn.record, target, fabric_, config_.rom_timing,
+                          &trace_, t, raw_crc_of(id));
     t += cfg.total;
     stats_.frames_configured += cfg.frames_written;
     stats_.frames_skipped += cfg.frames_skipped;
@@ -427,10 +436,37 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
     ++result.evictions;
   }
 
-  // Stream ROM -> decompress -> config port, window by window.
+  // Stream ROM -> decompress -> config port, window by window.  A CRC
+  // reject (corrupted ROM payload or decode divergence) leaves the fabric
+  // untouched; the driver re-fetches the pristine stream from the host,
+  // reprograms the ROM, and retries once before surfacing the failure.
   const sim::SimTime begin = t;
-  const ConfigureResult cfg = engine_.configure(
-      rom_, *record, *frames, fabric_, config_.rom_timing, &trace_, begin);
+  ConfigureResult cfg;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      cfg = engine_.configure(rom_, *record, *frames, fabric_,
+                              config_.rom_timing, &trace_, t, raw_crc_of(id));
+      break;
+    } catch (const Error& error) {
+      if (error.code() != ErrorCode::kCorruptData) {
+        free_list_.release(*frames);
+        throw;
+      }
+      ++stats_.crc_rejects;
+      const auto pristine = pristine_.find(id);
+      if (!config_.refetch_on_crc_reject || attempt >= 1 ||
+          pristine == pristine_.end()) {
+        free_list_.release(*frames);
+        throw;
+      }
+      rom_.rewrite_payload(id, pristine->second);
+      ++stats_.refetches;
+      const sim::SimTime d =
+          config_.rom_timing.write_time(pristine->second.size());
+      trace_.record(sim::Stage::kRom, record->name + "/refetch", t, t + d);
+      t += d;
+    }
+  }
   t += cfg.total;
   stats_.frames_configured += cfg.frames_written;
   stats_.frames_skipped += cfg.frames_skipped;

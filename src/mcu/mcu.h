@@ -39,6 +39,12 @@ struct McuConfig {
   /// When a contiguous allocation fails despite enough total free frames,
   /// compact the resident functions once before resorting to eviction.
   bool defragment_on_pressure = false;
+  /// When the configuration engine rejects a load on a CRC mismatch
+  /// (corrupted ROM payload), reprogram the payload from the host driver's
+  /// pristine copy and retry the load once — the per-function re-fetch
+  /// path.  Off: the load fails with kCorruptData and the caller surfaces
+  /// the failure (the server fails the request cleanly).
+  bool refetch_on_crc_reject = true;
   PolicyKind policy = PolicyKind::kLru;
   std::uint64_t policy_seed = 1;
   compress::CodecId codec = compress::CodecId::kFrameDelta;
@@ -96,6 +102,12 @@ struct McuStats {
   /// Compressed bytes actually fetched from ROM by loads; under delta
   /// reconfiguration, matched windows' spans are never fetched.
   std::uint64_t compressed_bytes_streamed = 0;
+  /// Loads the configuration engine rejected on a CRC mismatch before
+  /// programming anything (corrupted bitstreams caught cleanly).
+  std::uint64_t crc_rejects = 0;
+  /// CRC rejects recovered by reprogramming the ROM payload from the
+  /// host's pristine copy (refetch_on_crc_reject).
+  std::uint64_t refetches = 0;
   /// Stored functions by the codec they ended up with — under kAuto this
   /// is the record of what the pick chose.
   std::map<compress::CodecId, std::uint64_t> codec_picks;
@@ -259,6 +271,9 @@ class Mcu {
   const FreeFrameList& free_frames() const noexcept { return free_list_; }
   const memory::RomImage& rom() const noexcept { return rom_; }
   memory::RomImage& rom() noexcept { return rom_; }
+  /// The configuration engine (read-only): the invariant harness audits
+  /// its delta frame-hash tracker against the fabric's actual contents.
+  const ConfigEngine& engine() const noexcept { return engine_; }
   const memory::LocalRam& ram() const noexcept { return ram_; }
   const McuStats& stats() const noexcept { return stats_; }
   ReplacementPolicy& policy() noexcept { return *policy_; }
@@ -323,6 +338,16 @@ class Mcu {
   /// host-driver metadata (no ROM bytes), matched against the engine's
   /// frame table to predict delta skips before streaming anything.
   std::map<memory::FunctionId, std::vector<std::uint64_t>> window_hashes_;
+  /// Host-driver metadata for corruption recovery: the CRC-32 of each
+  /// stored function's DECODED image (the engine verifies every load
+  /// against it) and a pristine copy of the compressed stream (the
+  /// re-fetch path reprograms the ROM from it after a CRC reject).
+  std::map<memory::FunctionId, std::uint32_t> raw_crcs_;
+  std::map<memory::FunctionId, Bytes> pristine_;
+  std::uint32_t raw_crc_of(memory::FunctionId id) const {
+    const auto it = raw_crcs_.find(id);
+    return it != raw_crcs_.end() ? it->second : 0;
+  }
   McuStats stats_;
 };
 

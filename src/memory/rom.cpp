@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/crc32.h"
+#include "common/prng.h"
 
 namespace aad::memory {
 
@@ -111,6 +112,28 @@ ByteSpan RomImage::payload(const RomRecord& record) const {
   AAD_REQUIRE(record.start + record.compressed_size <= data_end_,
               "record payload outside ROM data region");
   return ByteSpan(storage_.data() + record.start, record.compressed_size);
+}
+
+bool RomImage::corrupt_payload(FunctionId id, std::uint64_t seed,
+                               unsigned bit_flips) {
+  const auto record = lookup(id);
+  if (!record || record->compressed_size == 0) return false;
+  Prng rng(seed);
+  for (unsigned i = 0; i < bit_flips; ++i) {
+    const std::size_t bit = static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(record->compressed_size) * 8));
+    storage_[record->start + bit / 8] ^= static_cast<Byte>(1u << (bit % 8));
+  }
+  return bit_flips > 0;
+}
+
+void RomImage::rewrite_payload(FunctionId id, ByteSpan bytes) {
+  const auto record = lookup(id);
+  AAD_REQUIRE(record.has_value(), "rewriting an unknown function's payload");
+  AAD_REQUIRE(bytes.size() == record->compressed_size,
+              "re-fetched payload size differs from the stored record");
+  std::copy(bytes.begin(), bytes.end(),
+            storage_.begin() + static_cast<std::ptrdiff_t>(record->start));
 }
 
 void RomImage::clear() {

@@ -66,6 +66,21 @@ class RomImage {
   /// Borrow the compressed stream of a record.
   ByteSpan payload(const RomRecord& record) const;
 
+  // --- fault injection + recovery ------------------------------------------
+  // The record table (and its payload_crc) is the driver's ground truth;
+  // only the stored stream bytes take damage, so a corrupted payload is
+  // detected by the configuration engine's CRC check at load time.
+
+  /// Flip `bit_flips` payload bits of `id`'s compressed stream, drawn
+  /// deterministically from `seed` (sim::RomCorruption's mechanism).
+  /// Returns false (no-op) when the id is unknown or the payload is empty.
+  bool corrupt_payload(FunctionId id, std::uint64_t seed, unsigned bit_flips);
+
+  /// Overwrite `id`'s payload bytes in place — the host's re-fetch path
+  /// after a CRC reject (the record, including payload_crc, is unchanged).
+  /// `bytes` must match the record's compressed_size exactly.
+  void rewrite_payload(FunctionId id, ByteSpan bytes);
+
   std::size_t capacity() const noexcept { return storage_.size(); }
   std::size_t data_bytes() const noexcept { return data_end_; }
   std::size_t record_bytes() const noexcept {

@@ -1,0 +1,82 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/prng.h"
+
+namespace aad::sim {
+namespace {
+
+/// Exponential draw with the given mean (zero mean -> always zero), the
+/// same shape the workload generators use for arrival gaps.
+SimTime exponential(Prng& rng, SimTime mean) {
+  if (mean <= SimTime::zero()) return SimTime::zero();
+  const double u = rng.next_double();
+  const double scale = -std::log(1.0 - u);
+  return SimTime::ps(static_cast<std::int64_t>(
+      static_cast<double>(mean.picoseconds()) * scale));
+}
+
+}  // namespace
+
+FaultPlan make_random_fault_plan(const RandomFaultConfig& config) {
+  AAD_REQUIRE(config.cards >= 1, "a fault plan needs at least one card");
+  AAD_REQUIRE(config.death_rate_per_ms >= 0.0 &&
+                  config.corruption_rate_per_ms >= 0.0,
+              "fault rates must be non-negative");
+  FaultPlan plan;
+
+  // Independent per-card streams, derived like the workload generators'
+  // per-client seeds so one plan seed reproduces the whole fleet's faults.
+  for (unsigned card = 0; card < config.cards; ++card) {
+    if (config.death_rate_per_ms > 0.0) {
+      Prng rng(config.seed * 1000003ull + card);
+      const SimTime mean_gap = SimTime::ps(static_cast<std::int64_t>(
+          1e9 / config.death_rate_per_ms));  // 1 ms = 1e9 ps
+      SimTime t;
+      for (;;) {
+        t += exponential(rng, mean_gap);
+        if (t >= config.horizon) break;
+        CardDeath death;
+        death.card = card;
+        death.at = t;
+        const SimTime down = exponential(rng, config.mean_downtime);
+        // A zero-length outage is a no-op; keep every generated death
+        // observable by flooring the downtime at one microsecond.
+        death.recover_at = t + std::max(down, SimTime::us(1));
+        plan.deaths.push_back(death);
+        t = death.recover_at;  // a dead card cannot die again
+      }
+    }
+    if (config.corruption_rate_per_ms > 0.0 && !config.functions.empty()) {
+      Prng rng((config.seed * 1000003ull + card) ^ 0xD1E5EA5EDF00DULL);
+      const SimTime mean_gap = SimTime::ps(
+          static_cast<std::int64_t>(1e9 / config.corruption_rate_per_ms));
+      SimTime t;
+      for (;;) {
+        t += exponential(rng, mean_gap);
+        if (t >= config.horizon) break;
+        RomCorruption corruption;
+        corruption.card = card;
+        corruption.function = config.functions[static_cast<std::size_t>(
+            rng.next_below(config.functions.size()))];
+        corruption.at = t;
+        corruption.seed = rng.next();
+        corruption.bit_flips = config.bit_flips;
+        plan.corruptions.push_back(corruption);
+      }
+    }
+  }
+
+  const auto by_time = [](const auto& a, const auto& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.card < b.card;
+  };
+  std::sort(plan.deaths.begin(), plan.deaths.end(), by_time);
+  std::sort(plan.corruptions.begin(), plan.corruptions.end(), by_time);
+  return plan;
+}
+
+}  // namespace aad::sim

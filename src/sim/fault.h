@@ -1,0 +1,66 @@
+// Declarative fault plans for the simulated fleet.
+//
+// A FaultPlan is pure data: a schedule of hardware misbehavior — cards
+// dying and recovering, ROM payloads taking bit flips — that the
+// core::CoprocessorFleet arms against its shared clock when the first
+// request is submitted (times are relative to that first submission, so
+// provisioning time never shifts a plan).  Plans are either hand-written
+// (targeted regression tests) or drawn from a seeded generator
+// (make_random_fault_plan — the property-based invariant harness sweeps
+// hundreds of them).  The sim layer knows nothing about cards or ROMs;
+// plain indices and ids keep the dependency arrow pointing upward.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace aad::sim {
+
+/// One card death: the card drops off the bus at `at`; if `recover_at` is
+/// later, it powers back up then with a cold fabric (otherwise it stays
+/// dead for the rest of the run).
+struct CardDeath {
+  unsigned card = 0;
+  SimTime at;
+  SimTime recover_at;  ///< <= at means the card never recovers
+};
+
+/// One ROM corruption: flip `bit_flips` payload bits of `function` on
+/// `card` at time `at` (seeded, so the damage is reproducible).
+struct RomCorruption {
+  unsigned card = 0;
+  std::uint32_t function = 0;
+  SimTime at;
+  std::uint64_t seed = 1;
+  unsigned bit_flips = 8;
+};
+
+struct FaultPlan {
+  std::vector<CardDeath> deaths;
+  std::vector<RomCorruption> corruptions;
+
+  bool empty() const noexcept { return deaths.empty() && corruptions.empty(); }
+};
+
+/// Knobs for the seeded plan generator.  Death arrivals are Poisson per
+/// card (exponential inter-death gaps at `death_rate_per_ms`), downtimes
+/// exponential with mean `mean_downtime`, both clipped to `horizon`;
+/// corruptions are Poisson per card over the `functions` bank.
+struct RandomFaultConfig {
+  std::uint64_t seed = 1;
+  unsigned cards = 4;
+  SimTime horizon = SimTime::ms(20);   ///< plan covers [0, horizon)
+  double death_rate_per_ms = 0.01;     ///< per card, per simulated ms
+  SimTime mean_downtime = SimTime::ms(1);
+  double corruption_rate_per_ms = 0.0;  ///< per card, per simulated ms
+  std::vector<std::uint32_t> functions; ///< corruption targets (ids)
+  unsigned bit_flips = 8;
+};
+
+/// Deterministic in `config.seed`.  Deaths are non-overlapping per card
+/// (a card recovers before it can die again) and sorted by time.
+FaultPlan make_random_fault_plan(const RandomFaultConfig& config);
+
+}  // namespace aad::sim

@@ -17,9 +17,18 @@ std::string to_string(SimTime t) {
   return buf;
 }
 
-void Scheduler::schedule_at(SimTime when, Action action) {
+EventId Scheduler::schedule_at(SimTime when, Action action) {
   AAD_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{when, next_sequence_++, std::move(action)});
+  const EventId id = next_sequence_++;
+  queue_.push(EventKey{when, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  // The heap keeps the cancelled key until its timestamp drains; only the
+  // action (and everything it captured) is released here.
+  return actions_.erase(id) != 0;
 }
 
 void Scheduler::advance(SimTime delay) {
@@ -33,11 +42,15 @@ void Scheduler::advance(SimTime delay) {
 std::size_t Scheduler::run() {
   std::size_t executed = 0;
   while (!queue_.empty()) {
-    // Copy out before pop: the action may schedule more events.
-    Event event = queue_.top();
+    const EventKey key = queue_.top();
     queue_.pop();
-    now_ = event.when;
-    event.action();
+    const auto it = actions_.find(key.sequence);
+    if (it == actions_.end()) continue;  // cancelled: skip, no time advance
+    // Move out before erasing: the action may schedule more events.
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = key.when;
+    action();
     ++executed;
   }
   return executed;
@@ -46,10 +59,14 @@ std::size_t Scheduler::run() {
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event event = queue_.top();
+    const EventKey key = queue_.top();
     queue_.pop();
-    now_ = event.when;
-    event.action();
+    const auto it = actions_.find(key.sequence);
+    if (it == actions_.end()) continue;  // cancelled: skip, no time advance
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = key.when;
+    action();
     ++executed;
   }
   if (deadline > now_) now_ = deadline;
@@ -58,6 +75,7 @@ std::size_t Scheduler::run_until(SimTime deadline) {
 
 void Scheduler::clear() {
   while (!queue_.empty()) queue_.pop();
+  actions_.clear();
 }
 
 }  // namespace aad::sim

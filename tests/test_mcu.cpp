@@ -3,9 +3,13 @@
 // engine, and execution from the configuration plane.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <vector>
+
 #include "algorithms/kernels.h"
 #include "bitstream/synth.h"
 #include "common/crc32.h"
+#include "common/prng.h"
 #include "fabric/fabric.h"
 #include "mcu/mcu.h"
 
@@ -689,6 +693,94 @@ TEST_F(DeltaMcuFixture, AutoCodecPicksARealCodecAndRecordsIt) {
   EXPECT_EQ(mcu_.invoke(algorithms::function_id(KernelId::kXtea), input)
                 .output,
             spec.software(input));
+}
+
+// Randomized property test: a seeded stream of pin / unpin / invoke /
+// evict / defragment operations against a shadow model of the pin table.
+// The driver-visible invariants must hold after every step, whatever the
+// interleaving: pin_refs mirrors the model exactly, pinned functions are
+// always resident (eviction pressure and compaction never touch them), and
+// releasing every reference leaves the card fully evictable again.
+TEST_F(McuFixture, RandomizedPinLoadEvictProperty) {
+  const std::vector<KernelId> kernels = {
+      KernelId::kAdder32, KernelId::kParity32, KernelId::kCrc32,
+      KernelId::kAes128,  KernelId::kSha256,   KernelId::kMatMul,
+      KernelId::kFft,     KernelId::kFir16};
+  std::vector<memory::FunctionId> bank;
+  for (const KernelId k : kernels) {
+    provision(k);
+    bank.push_back(algorithms::function_id(k));
+  }
+
+  Prng rng(20260808);
+  std::map<memory::FunctionId, unsigned> model;  // shadow pin table
+  const auto check_model = [&] {
+    std::size_t pinned_functions = 0;
+    for (const memory::FunctionId id : bank) {
+      const auto it = model.find(id);
+      const unsigned want = it == model.end() ? 0 : it->second;
+      ASSERT_EQ(mcu_.pin_count(id), want) << "function " << id;
+      if (want == 0) continue;
+      ++pinned_functions;
+      ASSERT_TRUE(mcu_.is_pinned(id));
+      ASSERT_TRUE(mcu_.is_resident(id))
+          << "pinned function " << id << " was evicted";
+    }
+    ASSERT_EQ(mcu_.pinned_count(), pinned_functions);
+  };
+
+  for (int step = 0; step < 300; ++step) {
+    const memory::FunctionId id = bank[rng.next_below(bank.size())];
+    switch (rng.next_below(8)) {
+      case 0:
+      case 1:
+      case 2: {  // invoke: load (evicting under pressure) + execute
+        if (!mcu_.is_resident(id) && !mcu_.load_feasible(id)) break;
+        const auto result =
+            mcu_.invoke(id, algorithms::bank_input(id, 1, rng.next()));
+        ASSERT_FALSE(result.output.empty());
+        ASSERT_TRUE(mcu_.is_resident(id));
+        break;
+      }
+      case 3:
+      case 4:  // pin: cap concurrent pins so big kernels stay placeable
+        if (!mcu_.is_resident(id) || mcu_.pinned_count() >= 3) break;
+        mcu_.pin(id);
+        ++model[id];
+        break;
+      case 5:  // unpin (sometimes of an unpinned function: must no-op)
+        mcu_.unpin(id);
+        if (const auto it = model.find(id); it != model.end())
+          if (--it->second == 0) model.erase(it);
+        break;
+      case 6:  // evict an unpinned resident function
+        if (!mcu_.is_resident(id) || mcu_.is_pinned(id)) break;
+        mcu_.evict(id);
+        ASSERT_FALSE(mcu_.is_resident(id));
+        break;
+      case 7:  // compaction relocates frames; the driver refuses to move
+                // pinned ones at all
+        if (mcu_.pinned_count() > 0) {
+          EXPECT_THROW(mcu_.defragment(), Error);
+        } else {
+          mcu_.defragment();
+        }
+        break;
+    }
+    check_model();
+  }
+
+  // Release everything: the card must end fully unpinned with every
+  // remaining resident function still invokable.
+  for (auto& [id, refs] : model)
+    while (refs-- > 0) mcu_.unpin(id);
+  model.clear();
+  EXPECT_EQ(mcu_.pinned_count(), 0u);
+  for (const memory::FunctionId id : bank) {
+    if (!mcu_.is_resident(id)) continue;
+    EXPECT_FALSE(
+        mcu_.invoke(id, algorithms::bank_input(id, 1, 999)).output.empty());
+  }
 }
 
 TEST_F(DeltaMcuFixture, ResetFabricClearsTheDeltaTracker) {

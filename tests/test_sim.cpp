@@ -2,6 +2,9 @@
 // scheduler's ordering guarantees, and activity tracing.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "common/error.h"
 #include "sim/scheduler.h"
 #include "sim/time.h"
@@ -155,6 +158,70 @@ TEST(SchedulerTest, ClearDropsPending) {
   s.clear();
   EXPECT_TRUE(s.idle());
   EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(SchedulerCancelTest, CancelBeforeFireSkipsAndReleasesState) {
+  // cancel() must both suppress the callback and destroy it immediately —
+  // the fleet cancels watchdog closures holding request payloads, which
+  // must not linger until the timestamp drains.
+  Scheduler s;
+  auto probe = std::make_shared<int>(7);
+  std::weak_ptr<int> alive = probe;
+  const EventId id = s.schedule_at(
+      SimTime::ns(10), [probe] { FAIL() << "cancelled, must not run"; });
+  probe.reset();
+  EXPECT_FALSE(alive.expired());  // captured by the pending action
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_TRUE(alive.expired());  // action destroyed at cancel time
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.run(), 0u);
+  EXPECT_EQ(s.now(), SimTime::zero());  // stale key must not advance time
+}
+
+TEST(SchedulerCancelTest, CancelIsSingleShot) {
+  Scheduler s;
+  int fired = 0;
+  const EventId a = s.schedule_at(SimTime::ns(5), [&] { ++fired; });
+  const EventId b = s.schedule_at(SimTime::ns(6), [] {});
+  EXPECT_TRUE(s.cancel(b));
+  EXPECT_FALSE(s.cancel(b));  // double-cancel is a no-op
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(a));  // already fired
+}
+
+TEST(SchedulerCancelTest, CancelledPeerAtSameTimestampIsInvisible) {
+  // Events sharing a timestamp with a cancelled one must still run in
+  // posting order, and the cancelled slot must not count as executed.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::ns(5), [&] { order.push_back(0); });
+  const EventId victim =
+      s.schedule_at(SimTime::ns(5), [&] { order.push_back(1); });
+  s.schedule_at(SimTime::ns(5), [&] { order.push_back(2); });
+  EXPECT_EQ(s.pending(), 3u);
+  EXPECT_TRUE(s.cancel(victim));
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_EQ(s.now(), SimTime::ns(5));
+}
+
+TEST(SchedulerCancelTest, CancelFromInsideAnEarlierEvent) {
+  // The watchdog pattern: a completion event at t cancels the timeout
+  // queued for t' > t before the loop ever reaches it.
+  Scheduler s;
+  int fired = 0;
+  const EventId timeout = s.schedule_at(
+      SimTime::ns(20), [] { FAIL() << "completion should have cancelled"; });
+  s.schedule_at(SimTime::ns(10), [&] {
+    ++fired;
+    EXPECT_TRUE(s.cancel(timeout));
+  });
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), SimTime::ns(10));  // cancelled tail never advances now
+  EXPECT_TRUE(s.idle());
 }
 
 TEST(TraceTest, StageTotalsAccumulate) {
