@@ -13,7 +13,11 @@
 //
 // Flags (bench_util.h parser): `--json results.json` captures the headline
 // metrics machine-readably; `--cards N` caps the F1 scaling sweep
-// (default 8).
+// (default 8); `--threads N` (default 1) runs every fleet on the sharded
+// parallel engine.  The default is byte-identical to the classic engine;
+// with threads >= 2 these CLOSED-loop tables shift slightly (resubmissions
+// round-align, see core/fleet.h FleetConfig::threads) but deterministically
+// — the same thread count always reproduces the same numbers.
 #include "bench_util.h"
 
 #include <vector>
@@ -47,6 +51,7 @@ core::FleetStats run_fleet(unsigned cards, core::DispatchPolicy policy,
                            const workload::MultiClientTrace& trace) {
   core::FleetConfig fc;
   fc.cards = cards;
+  fc.threads = static_cast<unsigned>(bench::flags().get_int("threads", 1));
   fc.policy = policy;
   core::CoprocessorFleet fleet(fc);
   fleet.download_all();

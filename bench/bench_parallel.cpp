@@ -1,0 +1,216 @@
+// Experiment P — parallel engine scaling (sim::ParallelScheduler).
+//
+// The sharded engine's contract is "same answer, less wall clock": with
+// threads == 1 it must be byte-identical to the classic single-queue
+// scheduler, and for any fixed thread count the run must be deterministic.
+// This bench sweeps cards x host threads over one open-loop trace and
+// reports, per cell:
+//
+//   * simulation results (completed requests, events executed, simulated
+//     makespan, a 64-bit FNV-1a digest over the full completion record) —
+//     deterministic, so the CI gate compares them against the baseline;
+//   * host wall-clock ms, events/sec, and speedup vs threads=1 — honest
+//     measurements of the machine the bench ran on, excluded from the gate
+//     via check_bench.py --ignore-keys (see docs/BENCHMARKS.md).
+//
+// The digest must be IDENTICAL down the threads axis for a fixed card
+// count: the bench hard-fails (exit 1) on any mismatch, so a determinism
+// regression cannot hide behind a green wall-clock table.  The digest is
+// tests/invariant_harness.h's fleet_digest — the same function the
+// equivalence tests gate on, so the bench and the test suite cannot drift
+// apart on what "same answer" means.
+//
+// Flags: `--cards N` caps the card sweep (default 8), `--threads N` caps
+// the thread sweep (default 4), `--clients`/`--requests`/`--blocks` size
+// the trace, `--json results.json` captures the metrics machine-readably.
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "tests/invariant_harness.h"
+#include "workload/multiclient.h"
+#include "workload/replay.h"
+
+namespace {
+
+using namespace aad;
+
+using bench::request_input;
+
+workload::MultiClientTrace scaling_trace(unsigned clients,
+                                         std::size_t per_client,
+                                         std::size_t blocks) {
+  // Open loop: arrivals are absolute offsets fixed at trace-generation
+  // time, so the parallel fleet's submit path never clamps them and the
+  // digest matches the classic engine exactly (core/fleet.h, `threads`).
+  workload::MultiClientConfig wc;
+  wc.clients = clients;
+  wc.requests_per_client = per_client;
+  wc.functions = algorithms::function_bank();
+  wc.seed = 23;
+  wc.zipf_s = 1.1;
+  wc.payload_blocks = blocks;
+  wc.mode = workload::ArrivalMode::kOpenLoop;
+  wc.mean_interarrival = sim::SimTime::us(40);
+  return workload::make_multi_client(wc);
+}
+
+struct CellResult {
+  core::FleetStats stats;
+  std::size_t events = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t rounds = 0;
+  double host_ms = 0.0;
+};
+
+CellResult run_cell(unsigned cards, unsigned threads,
+                    const workload::MultiClientTrace& trace) {
+  core::FleetConfig fc;
+  fc.cards = cards;
+  fc.threads = threads;
+  fc.policy = core::DispatchPolicy::kResidencyAffinity;
+  core::CoprocessorFleet fleet(fc);
+  fleet.download_all();
+  workload::replay(fleet, trace, request_input);
+
+  CellResult cell;
+  const auto start = std::chrono::steady_clock::now();
+  cell.events = fleet.run();
+  const auto stop = std::chrono::steady_clock::now();
+  cell.host_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  cell.stats = fleet.stats();
+  cell.digest = harness::fleet_digest(fleet);
+  if (const auto* engine = fleet.parallel_engine())
+    cell.rounds = engine->rounds();
+  return cell;
+}
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void scaling_sweep() {
+  const auto max_cards =
+      static_cast<unsigned>(bench::flags().get_int("cards", 8));
+  const auto max_threads =
+      static_cast<unsigned>(bench::flags().get_int("threads", 4));
+  const auto clients =
+      static_cast<unsigned>(bench::flags().get_int("clients", 12));
+  const auto per_client =
+      static_cast<std::size_t>(bench::flags().get_int("requests", 24));
+  const auto blocks =
+      static_cast<std::size_t>(bench::flags().get_int("blocks", 6));
+
+  std::puts("\n=== P1: cards x host threads, open-loop zipf(1.1) trace ===");
+  std::printf("(%u clients x %zu requests, %zu-block payloads; digest must "
+              "be constant down each card column — wall-clock columns are "
+              "host measurements, ignored by the CI gate)\n",
+              clients, per_client, blocks);
+  const std::vector<int> widths = {7, 9, 10, 9, 13, 10, 9, 9, 18};
+  bench::print_row({"cards", "threads", "requests", "events", "makespan(ms)",
+                    "host(ms)", "Mev/s", "speedup", "digest"},
+                   widths);
+  bench::print_rule(widths);
+
+  const auto trace = scaling_trace(clients, per_client, blocks);
+  bool digest_mismatch = false;
+  for (unsigned cards : {1u, 4u, 8u}) {
+    if (cards > max_cards) continue;
+    double base_host_ms = 0.0;
+    std::uint64_t column_digest = 0;
+    for (unsigned threads : {1u, 2u, 4u}) {
+      if (threads > max_threads) continue;
+      if (threads > cards) continue;  // the engine clamps; skip dup rows
+      const CellResult cell = run_cell(cards, threads, trace);
+      if (threads == 1) {
+        base_host_ms = cell.host_ms;
+        column_digest = cell.digest;
+      } else if (cell.digest != column_digest) {
+        std::fprintf(stderr,
+                     "DETERMINISM FAILURE: cards=%u threads=%u digest %s != "
+                     "threads=1 digest %s\n",
+                     cards, threads, hex_digest(cell.digest).c_str(),
+                     hex_digest(column_digest).c_str());
+        digest_mismatch = true;
+      }
+      const double speedup =
+          cell.host_ms > 0.0 ? base_host_ms / cell.host_ms : 0.0;
+      const double mev_per_s =
+          cell.host_ms > 0.0
+              ? static_cast<double>(cell.events) / cell.host_ms / 1e3
+              : 0.0;
+      bench::print_row(
+          {std::to_string(cards), std::to_string(threads),
+           bench::fmt_u(cell.stats.completed),
+           bench::fmt_u(static_cast<std::uint64_t>(cell.events)),
+           bench::fmt("%.2f", cell.stats.makespan.milliseconds()),
+           bench::fmt("%.1f", cell.host_ms), bench::fmt("%.2f", mev_per_s),
+           bench::fmt("%.2fx", speedup), hex_digest(cell.digest)},
+          widths);
+
+      const std::string suffix =
+          "_c" + std::to_string(cards) + "_t" + std::to_string(threads);
+      // Deterministic metrics: gated against bench/baselines/.
+      bench::json().set_string("parallel_digest" + suffix,
+                               hex_digest(cell.digest));
+      bench::json().set("parallel_events" + suffix,
+                        static_cast<std::uint64_t>(cell.events));
+      bench::json().set("parallel_completed" + suffix, cell.stats.completed);
+      bench::json().set("parallel_rounds" + suffix, cell.rounds);
+      // Host measurements: ride in the artifact for the perf trajectory
+      // but are excluded from the gate (--ignore-keys '*host_ms*,...').
+      bench::json().set("parallel_host_ms" + suffix, cell.host_ms);
+      bench::json().set("parallel_events_per_sec" + suffix,
+                        cell.host_ms > 0.0
+                            ? static_cast<double>(cell.events) * 1e3 /
+                                  cell.host_ms
+                            : 0.0);
+      bench::json().set("parallel_speedup" + suffix, speedup);
+    }
+  }
+  if (digest_mismatch) {
+    std::fprintf(stderr,
+                 "bench_parallel: thread count changed the simulation "
+                 "result; see src/sim/parallel.h for the determinism "
+                 "contract\n");
+    std::exit(1);
+  }
+}
+
+void BM_ParallelFleetRun(benchmark::State& state) {
+  // Wall-clock per event through an 8-card fleet at the given thread
+  // count — the google-benchmark view of the P1 table's host(ms) column.
+  const auto threads = static_cast<unsigned>(state.range(0));
+  const auto trace = scaling_trace(8, 12, 6);
+  std::size_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::FleetConfig fc;
+    fc.cards = 8;
+    fc.threads = threads;
+    fc.policy = core::DispatchPolicy::kResidencyAffinity;
+    core::CoprocessorFleet fleet(fc);
+    fleet.download_all();
+    workload::replay(fleet, trace, request_input);
+    state.ResumeTiming();
+    events += fleet.run();
+    benchmark::DoNotOptimize(fleet.stats().completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("events through 8 card shards, " +
+                 std::to_string(threads) + " host thread(s)");
+}
+BENCHMARK(BM_ParallelFleetRun)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+void run_experiment() { scaling_sweep(); }

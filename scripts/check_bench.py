@@ -11,6 +11,7 @@ silently shipping the drift inside an uploaded artifact.
 
 Usage:
     check_bench.py BASELINE CANDIDATE [--rel-tol R] [--abs-tol A]
+                   [--ignore-keys PATTERNS]
 
 Comparison rules:
   * numeric values pass when |cand - base| <= abs_tol + rel_tol * |base|
@@ -22,13 +23,20 @@ Comparison rules:
   * string values must match exactly;
   * a key missing from the candidate, or present only in the candidate,
     FAILS: a bench gaining or losing metrics must regenerate its baseline
-    (see docs/BENCHMARKS.md, "Regenerating the baselines").
+    (see docs/BENCHMARKS.md, "Regenerating the baselines");
+  * keys matching --ignore-keys (comma-separated fnmatch patterns, flag
+    repeatable — e.g. `--ignore-keys '*host_ms*,*events_per_sec*'`) skip
+    the VALUE comparison only: host wall-clock metrics can ride inside a
+    gated artifact without tripping the tolerance, but the presence checks
+    still apply, so an ignored metric silently appearing or vanishing
+    fails the gate like any other.
 
 Exit status: 0 all metrics within tolerance, 1 drift detected, 2 usage or
 I/O error.  Only the Python standard library is used.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -68,15 +76,39 @@ def main():
         default=1e-9,
         help="absolute tolerance floor, for near-zero metrics (default: %(default)s)",
     )
+    parser.add_argument(
+        "--ignore-keys",
+        action="append",
+        default=[],
+        metavar="PATTERNS",
+        help=(
+            "comma-separated fnmatch patterns of keys whose VALUES are not "
+            "compared (presence is still checked); repeatable"
+        ),
+    )
     args = parser.parse_args()
+
+    ignore_patterns = [
+        pattern.strip()
+        for group in args.ignore_keys
+        for pattern in group.split(",")
+        if pattern.strip()
+    ]
+
+    def ignored(key):
+        return any(fnmatch.fnmatchcase(key, p) for p in ignore_patterns)
 
     base = load(args.baseline)
     cand = load(args.candidate)
 
     failures = []
+    ignored_count = 0
     for key, base_value in base.items():
         if key not in cand:
             failures.append((key, base_value, "<missing>", "metric disappeared"))
+            continue
+        if ignored(key):
+            ignored_count += 1
             continue
         cand_value = cand[key]
         if is_number(base_value) and is_number(cand_value):
@@ -108,9 +140,10 @@ def main():
             "baselines') and quote the diff in the PR."
         )
         return 1
+    ignored_note = f" ({ignored_count} ignored)" if ignored_count else ""
     print(
         f"check_bench: OK — {checked} metric(s) within "
-        f"rel-tol {args.rel_tol} of {args.baseline}"
+        f"rel-tol {args.rel_tol} of {args.baseline}{ignored_note}"
     )
     return 0
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench.py — the CI bench-regression gate.
+
+The differ IS the gate: a bug that makes it accept everything would let
+perf regressions ship behind green CI, so it gets its own tests, run under
+ctest (CMake registers this file as `check_bench_selftest`).  Each case
+invokes the script as a subprocess — argument parsing, exit codes, and
+output all exercised exactly the way the workflow uses them.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "check_bench.py")
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+
+    def write(self, name, payload):
+        path = os.path.join(self.tmp.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            if isinstance(payload, str):
+                f.write(payload)
+            else:
+                json.dump(payload, f)
+        return path
+
+    def run_check(self, baseline, candidate, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, baseline, candidate, *extra],
+            capture_output=True,
+            text=True,
+        )
+
+    def test_identical_passes(self):
+        base = self.write("base.json", {"rps": 1000.0, "policy": "affinity"})
+        cand = self.write("cand.json", {"rps": 1000.0, "policy": "affinity"})
+        result = self.run_check(base, cand)
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_numeric_drift_within_tolerance_passes(self):
+        base = self.write("base.json", {"rps": 1000.0})
+        cand = self.write("cand.json", {"rps": 1010.0})  # +1% < default 2%
+        self.assertEqual(self.run_check(base, cand).returncode, 0)
+
+    def test_numeric_drift_beyond_tolerance_fails(self):
+        base = self.write("base.json", {"rps": 1000.0})
+        cand = self.write("cand.json", {"rps": 1100.0})  # +10%
+        result = self.run_check(base, cand)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("rps", result.stdout)
+
+    def test_rel_tol_flag_widens_the_gate(self):
+        base = self.write("base.json", {"rps": 1000.0})
+        cand = self.write("cand.json", {"rps": 1100.0})
+        self.assertEqual(
+            self.run_check(base, cand, "--rel-tol", "0.15").returncode, 0
+        )
+
+    def test_abs_tol_covers_near_zero_metrics(self):
+        base = self.write("base.json", {"wait": 0.0})
+        cand = self.write("cand.json", {"wait": 1e-12})
+        self.assertEqual(self.run_check(base, cand).returncode, 0)
+
+    def test_string_mismatch_fails(self):
+        base = self.write("base.json", {"policy": "affinity"})
+        cand = self.write("cand.json", {"policy": "round-robin"})
+        self.assertEqual(self.run_check(base, cand).returncode, 1)
+
+    def test_missing_metric_fails(self):
+        base = self.write("base.json", {"rps": 1.0, "hit": 0.5})
+        cand = self.write("cand.json", {"rps": 1.0})
+        result = self.run_check(base, cand)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("disappeared", result.stdout)
+
+    def test_new_metric_fails(self):
+        base = self.write("base.json", {"rps": 1.0})
+        cand = self.write("cand.json", {"rps": 1.0, "extra": 2.0})
+        result = self.run_check(base, cand)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("new metric", result.stdout)
+
+    def test_unreadable_or_malformed_input_exits_2(self):
+        base = self.write("base.json", {"rps": 1.0})
+        self.assertEqual(
+            self.run_check(base, os.path.join(self.tmp.name, "nope.json")).returncode,
+            2,
+        )
+        broken = self.write("broken.json", "{not json")
+        self.assertEqual(self.run_check(base, broken).returncode, 2)
+        array = self.write("array.json", [1, 2, 3])
+        self.assertEqual(self.run_check(base, array).returncode, 2)
+
+    def test_ignore_keys_skips_value_comparison(self):
+        # Wall-clock metrics ride in gated JSON: wildly different values
+        # pass when the key matches an ignore pattern.
+        base = self.write("base.json", {"host_ms_c8_t4": 100.0, "digest": "ab"})
+        cand = self.write("cand.json", {"host_ms_c8_t4": 9000.0, "digest": "ab"})
+        result = self.run_check(base, cand, "--ignore-keys", "*host_ms*")
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("1 ignored", result.stdout)
+
+    def test_ignore_keys_still_requires_presence(self):
+        # Ignored means "don't compare the value", NOT "optional": a metric
+        # vanishing or appearing still fails the gate.
+        base = self.write("base.json", {"host_ms": 100.0, "digest": "ab"})
+        cand_missing = self.write("cand1.json", {"digest": "ab"})
+        self.assertEqual(
+            self.run_check(base, cand_missing, "--ignore-keys", "host_ms").returncode,
+            1,
+        )
+        cand_extra = self.write(
+            "cand2.json", {"host_ms": 100.0, "digest": "ab", "events_per_sec": 5.0}
+        )
+        self.assertEqual(
+            self.run_check(
+                base, cand_extra, "--ignore-keys", "host_ms,events_per_sec"
+            ).returncode,
+            1,
+        )
+
+    def test_ignore_keys_comma_lists_and_repeats_combine(self):
+        base = self.write(
+            "base.json", {"host_ms": 1.0, "events_per_sec": 2.0, "speedup": 3.0, "d": "x"}
+        )
+        cand = self.write(
+            "cand.json", {"host_ms": 99.0, "events_per_sec": 88.0, "speedup": 77.0, "d": "x"}
+        )
+        result = self.run_check(
+            base, cand, "--ignore-keys", "host_ms,events_per_sec",
+            "--ignore-keys", "speedup",
+        )
+        self.assertEqual(result.returncode, 0, result.stdout + result.stderr)
+        self.assertIn("3 ignored", result.stdout)
+
+    def test_ignored_key_does_not_mask_other_drift(self):
+        base = self.write("base.json", {"host_ms": 1.0, "digest": "ab"})
+        cand = self.write("cand.json", {"host_ms": 99.0, "digest": "cd"})
+        result = self.run_check(base, cand, "--ignore-keys", "host_ms")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("digest", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

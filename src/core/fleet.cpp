@@ -18,6 +18,22 @@ const char* to_string(DispatchPolicy policy) {
   return "unknown";
 }
 
+namespace {
+
+/// Lookahead for the parallel engine when FleetConfig::lookahead is unset:
+/// the PCI command-setup cost (4 register writes — the same sequence every
+/// submission pays before anything card-visible happens), computed on a
+/// throwaway bus so no card's stats are disturbed.
+sim::SimTime derived_lookahead(const pci::PciTiming& timing) {
+  pci::PciBus probe(timing);
+  sim::SimTime total;
+  for (unsigned i = 0; i < 4; ++i) total += probe.register_write();
+  if (total <= sim::SimTime::zero()) total = sim::SimTime::ns(1);
+  return total;
+}
+
+}  // namespace
+
 CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
     : policy_(config.policy),
       cost_routing_(config.cost_routing),
@@ -28,10 +44,20 @@ CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
   // the fault-free configuration keeps the original zero-overhead path.
   fault_mode_ =
       !faults_.empty() || retry_.timeout > sim::SimTime::zero();
+  if (config.threads >= 2) {
+    const sim::SimTime lookahead = config.lookahead > sim::SimTime::zero()
+                                       ? config.lookahead
+                                       : derived_lookahead(config.card.pci);
+    parallel_ = std::make_unique<sim::ParallelScheduler>(
+        config.cards, config.threads, lookahead);
+  }
   shards_.reserve(config.cards);
   for (unsigned i = 0; i < config.cards; ++i) {
     Shard shard;
-    shard.card = std::make_unique<AgileCoprocessor>(config.card, scheduler_);
+    // Parallel mode hands each card its own shard queue; card-local
+    // pipeline events never leave it.  Classic mode shares scheduler_.
+    sim::Scheduler& queue = parallel_ ? parallel_->shard(i) : scheduler_;
+    shard.card = std::make_unique<AgileCoprocessor>(config.card, queue);
     shard.server =
         std::make_unique<CoprocessorServer>(*shard.card, config.server);
     shards_.push_back(std::move(shard));
@@ -40,17 +66,18 @@ CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
 
 void CoprocessorFleet::download(algorithms::KernelId kernel,
                                 std::optional<compress::CodecId> codec) {
-  for (Shard& shard : shards_) shard.card->download(kernel, codec);
+  provision([&](Shard& shard) { shard.card->download(kernel, codec); });
 }
 
 void CoprocessorFleet::download_bitstream(
     memory::FunctionId id, const bitstream::Bitstream& bitstream,
     std::optional<compress::CodecId> codec) {
-  for (Shard& shard : shards_) shard.card->download_bitstream(id, bitstream, codec);
+  provision(
+      [&](Shard& shard) { shard.card->download_bitstream(id, bitstream, codec); });
 }
 
 void CoprocessorFleet::download_all(std::optional<compress::CodecId> codec) {
-  for (Shard& shard : shards_) shard.card->download_all(codec);
+  provision([&](Shard& shard) { shard.card->download_all(codec); });
 }
 
 std::uint64_t CoprocessorFleet::submit(unsigned client,
@@ -72,7 +99,18 @@ std::uint64_t CoprocessorFleet::submit_function_at(sim::SimTime when,
                                                    memory::FunctionId function,
                                                    Bytes input,
                                                    Completion done) {
-  AAD_REQUIRE(when >= now(), "cannot submit a request in the past");
+  if (parallel_) {
+    // A closed-loop completion hook resubmits at complete_time + think,
+    // but it runs on the coordination queue, which may already sit past
+    // that instant (the hook's delivery was clamped, or a sibling shard
+    // ran ahead inside the lookahead window).  Clamp to the coordination
+    // clock — this is exactly the round alignment FleetConfig::threads
+    // documents for closed-loop traffic; open-loop submissions all land
+    // before run() starts and are never moved.
+    when = std::max(when, sim_now());
+  } else {
+    AAD_REQUIRE(when >= now(), "cannot submit a request in the past");
+  }
   const std::uint64_t ticket = next_ticket_++;
   ++undispatched_;
   if (fault_mode_) {
@@ -87,13 +125,13 @@ std::uint64_t CoprocessorFleet::submit_function_at(sim::SimTime when,
     state.done = std::move(done);
     state.submit_time = when;
     tickets_.emplace(ticket, std::move(state));
-    scheduler_.schedule_at(when, [this, ticket] { dispatch_ticket(ticket); });
+    coord().schedule_at(when, [this, ticket] { dispatch_ticket(ticket); });
     return ticket;
   }
   // The card is chosen when the request ARRIVES, not now: pre-scheduled
   // open-loop arrivals and closed-loop resubmissions alike get routed
   // against the queue depths and residency of their arrival instant.
-  scheduler_.schedule_at(
+  coord().schedule_at(
       when, [this, client, function, input = std::move(input),
              done = std::move(done)]() mutable {
         dispatch(client, function, std::move(input), std::move(done));
@@ -104,10 +142,29 @@ std::uint64_t CoprocessorFleet::submit_function_at(sim::SimTime when,
 void CoprocessorFleet::dispatch(unsigned client, memory::FunctionId function,
                                 Bytes input, Completion done) {
   --undispatched_;
-  Shard& shard = shards_[route(function)];
+  const unsigned index = route(function);
+  Shard& shard = shards_[index];
   ++shard.dispatched;
-  shard.server->submit_function_at(now(), client, function, std::move(input),
-                                   std::move(done));
+  // Parallel mode: the card fires completions on a worker thread, so the
+  // submitter's hook is funneled back to the coordination queue as a
+  // message (with a COPY of the record — the reference aims into the
+  // card's reallocating completion log).  The card event itself lands at
+  // the dispatch instant, exactly as in classic mode: the coordinator only
+  // runs when every shard has burned down all earlier work, so sim_now()
+  // is never in the shard's past for an open-loop arrival.  Only a
+  // round-aligned closed-loop resubmission can trail a shard's clock; the
+  // clamp keeps its card time monotone.
+  Completion hook = std::move(done);
+  if (parallel_ && hook) {
+    hook = [this, index, done = std::move(hook)](const ServerRequest& r) {
+      parallel_->post_to_coord(index, shards_[index].card->now(),
+                               [done, record = r] { done(record); });
+    };
+  }
+  const sim::SimTime when =
+      parallel_ ? std::max(sim_now(), shard.card->now()) : now();
+  shard.server->submit_function_at(when, client, function, std::move(input),
+                                   std::move(hook));
 }
 
 bool CoprocessorFleet::any_alive() const {
@@ -122,15 +179,15 @@ void CoprocessorFleet::arm_faults() {
   const sim::SimTime base = now();
   for (const sim::CardDeath& death : faults_.deaths) {
     if (death.card >= card_count()) continue;
-    scheduler_.schedule_at(base + death.at,
-                           [this, card = death.card] { kill_card(card); });
+    coord().schedule_at(base + death.at,
+                        [this, card = death.card] { kill_card(card); });
     if (death.recover_at > death.at)
-      scheduler_.schedule_at(base + death.recover_at,
-                             [this, card = death.card] { revive_card(card); });
+      coord().schedule_at(base + death.recover_at,
+                          [this, card = death.card] { revive_card(card); });
   }
   for (const sim::RomCorruption& c : faults_.corruptions) {
     if (c.card >= card_count()) continue;
-    scheduler_.schedule_at(base + c.at, [this, c] {
+    coord().schedule_at(base + c.at, [this, c] {
       shards_[c.card].card->mcu().rom().corrupt_payload(c.function, c.seed,
                                                         c.bit_flips);
     });
@@ -155,14 +212,32 @@ void CoprocessorFleet::dispatch_ticket(std::uint64_t ticket) {
   // The payload moves onto the card; try_cancel/power_off hand it back if
   // the request has to be pulled.  The fleet ALWAYS wraps the completion
   // freshly per dispatch — a refugee's old wrapper is never reused (it
-  // would fire the ticket bookkeeping twice).
+  // would fire the ticket bookkeeping twice).  Under the parallel engine
+  // the wrapper additionally funnels through the coordination queue: the
+  // card fires it on a worker thread, and on_card_complete touches
+  // coordinator-owned ticket state (and may cancel the watchdog), so it
+  // must run as a coordination event, with a COPY of the record.
+  Completion completion;
+  if (parallel_) {
+    completion = [this, ticket, card](const ServerRequest& r) {
+      parallel_->post_to_coord(
+          card, shards_[card].card->now(),
+          [this, ticket, record = r] { on_card_complete(ticket, record); });
+    };
+  } else {
+    completion = [this, ticket](const ServerRequest& r) {
+      on_card_complete(ticket, r);
+    };
+  }
+  const sim::SimTime when =
+      parallel_ ? std::max(sim_now(), shard.card->now()) : now();
   state.card_request = shard.server->submit_function_at(
-      now(), state.client, state.function, std::move(state.input),
-      [this, ticket](const ServerRequest& r) { on_card_complete(ticket, r); });
+      when, state.client, state.function, std::move(state.input),
+      std::move(completion));
   state.input = Bytes();
   if (retry_.timeout > sim::SimTime::zero())
-    state.timeout_event = scheduler_.schedule_at(
-        now() + retry_.timeout, [this, ticket] { on_timeout(ticket); });
+    state.timeout_event = coord().schedule_at(
+        sim_now() + retry_.timeout, [this, ticket] { on_timeout(ticket); });
 }
 
 void CoprocessorFleet::on_card_complete(std::uint64_t ticket,
@@ -171,7 +246,7 @@ void CoprocessorFleet::on_card_complete(std::uint64_t ticket,
   AAD_CHECK(it != tickets_.end(), "completion for an unknown ticket");
   const Completion done = std::move(it->second.done);
   if (it->second.timeout_event)
-    scheduler_.cancel(*it->second.timeout_event);
+    coord().cancel(*it->second.timeout_event);
   tickets_.erase(it);
   // Card-level outcomes — success or failure (a CRC reject the MCU's
   // re-fetch could not repair) — are terminal: a corrupted ROM payload is
@@ -204,8 +279,8 @@ void CoprocessorFleet::on_timeout(std::uint64_t ticket) {
       std::pow(retry_.backoff, static_cast<double>(state.attempts - 1));
   const sim::SimTime delay = sim::SimTime::ps(static_cast<std::int64_t>(
       static_cast<double>(retry_.backoff_base.picoseconds()) * scale));
-  scheduler_.schedule_at(now() + delay,
-                         [this, ticket] { dispatch_ticket(ticket); });
+  coord().schedule_at(sim_now() + delay,
+                      [this, ticket] { dispatch_ticket(ticket); });
 }
 
 void CoprocessorFleet::fail_ticket(std::uint64_t ticket, FailReason reason) {
@@ -213,14 +288,14 @@ void CoprocessorFleet::fail_ticket(std::uint64_t ticket, FailReason reason) {
   AAD_CHECK(it != tickets_.end(), "failing an unknown ticket");
   TicketState state = std::move(it->second);
   tickets_.erase(it);
-  if (state.timeout_event) scheduler_.cancel(*state.timeout_event);
+  if (state.timeout_event) coord().cancel(*state.timeout_event);
   ++failed_;
   ServerRequest failed;
   failed.id = ticket;
   failed.client = state.client;
   failed.function = state.function;
   failed.submit_time = state.submit_time;
-  failed.complete_time = now();
+  failed.complete_time = sim_now();
   failed.failed = true;
   failed.fail_reason = reason;
   if (state.done) state.done(failed);
@@ -257,7 +332,7 @@ void CoprocessorFleet::kill_card(unsigned index) {
       failed.client = refugee.client;
       failed.function = refugee.function;
       failed.submit_time = refugee.submit_time;
-      failed.complete_time = now();
+      failed.complete_time = sim_now();
       failed.failed = true;
       failed.fail_reason = FailReason::kCardDeath;
       if (refugee.done) refugee.done(failed);
@@ -265,7 +340,7 @@ void CoprocessorFleet::kill_card(unsigned index) {
     }
     TicketState& state = tickets_.at(ticket);
     if (state.timeout_event) {
-      scheduler_.cancel(*state.timeout_event);
+      coord().cancel(*state.timeout_event);
       state.timeout_event.reset();
     }
     state.on_card = false;
@@ -275,8 +350,8 @@ void CoprocessorFleet::kill_card(unsigned index) {
     if (survivors) {
       ++redispatched_;
       ++undispatched_;
-      scheduler_.schedule_at(now(),
-                             [this, ticket] { dispatch_ticket(ticket); });
+      coord().schedule_at(sim_now(),
+                          [this, ticket] { dispatch_ticket(ticket); });
     } else {
       fail_ticket(ticket, FailReason::kCardDeath);
     }
@@ -422,10 +497,12 @@ unsigned CoprocessorFleet::route(memory::FunctionId function) {
   return card;
 }
 
-std::size_t CoprocessorFleet::run() { return scheduler_.run(); }
+std::size_t CoprocessorFleet::run() {
+  return parallel_ ? parallel_->run() : scheduler_.run();
+}
 
 std::size_t CoprocessorFleet::run_until(sim::SimTime deadline) {
-  return scheduler_.run_until(deadline);
+  return parallel_ ? parallel_->run_until(deadline) : scheduler_.run_until(deadline);
 }
 
 AgileCoprocessor& CoprocessorFleet::card(unsigned index) {

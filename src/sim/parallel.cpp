@@ -1,0 +1,246 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/error.h"
+
+namespace aad::sim {
+
+ParallelScheduler::ParallelScheduler(unsigned shards, unsigned threads,
+                                     SimTime lookahead)
+    : lookahead_(lookahead) {
+  AAD_REQUIRE(shards > 0, "parallel engine needs at least one shard");
+  AAD_REQUIRE(lookahead > SimTime::zero(),
+              "conservative sync needs a positive lookahead");
+  shards_.reserve(shards);
+  for (unsigned i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  threads_ = std::max(1u, std::min(threads, shards));
+  // The driving thread is worker zero; spawn the rest once, up front.
+  // They sleep on round_start_ between rounds.
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ParallelScheduler::~ParallelScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    stopping_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Scheduler& ParallelScheduler::shard(unsigned index) {
+  AAD_REQUIRE(index < shards_.size(), "shard index out of range");
+  return shards_[index]->scheduler;
+}
+
+void ParallelScheduler::set_lookahead(SimTime lookahead) {
+  AAD_REQUIRE(lookahead > SimTime::zero(),
+              "conservative sync needs a positive lookahead");
+  AAD_REQUIRE(!started_, "lookahead is frozen after the first round");
+  lookahead_ = lookahead;
+}
+
+void ParallelScheduler::post_to_coord(unsigned source, SimTime when,
+                                      Scheduler::Action action) {
+  AAD_REQUIRE(source < shards_.size(), "message source out of range");
+  Shard& shard = *shards_[source];
+  AAD_CHECK(when >= shard.scheduler.now(),
+            "cross-shard message dated before its source clock");
+  // A message can never be delivered in the coordinator's past.  For
+  // round-generated messages this is a no-op (conservative rounds only run
+  // card events at >= the coordinator's clock); it only binds for
+  // host-context posts from a shard whose clock trails the coordinator
+  // (e.g. an imperative kill_card failing a lagging card's request).
+  // coord_.now() is stable while a round runs — the driving thread parks
+  // at the barrier — so this read is safe from worker threads.
+  shard.outbox.push_back(Message{std::max(when, coord_.now()), source,
+                                 shard.next_message_seq++, std::move(action)});
+}
+
+void ParallelScheduler::deliver_messages() {
+  mailbox_.clear();
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    if (shard->outbox.empty()) continue;
+    std::move(shard->outbox.begin(), shard->outbox.end(),
+              std::back_inserter(mailbox_));
+    shard->outbox.clear();
+  }
+  if (mailbox_.empty()) return;
+  // (when, source) with per-source posting order preserved by stable_sort:
+  // a total order no thread interleaving can perturb.
+  std::stable_sort(mailbox_.begin(), mailbox_.end(),
+                   [](const Message& a, const Message& b) {
+                     if (a.when != b.when) return a.when < b.when;
+                     return a.source < b.source;
+                   });
+  for (Message& message : mailbox_) {
+    // Conservative rounds guarantee no message is dated before the
+    // coordinator's clock; a violation here means the horizon math broke.
+    AAD_CHECK(message.when >= coord_.now(),
+              "cross-shard message arrived in the coordinator's past");
+    coord_.schedule_at(message.when, std::move(message.action));
+  }
+  mailbox_.clear();
+}
+
+void ParallelScheduler::work_round() {
+  for (;;) {
+    const std::size_t slot =
+        round_cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= round_shards_.size()) return;
+    Shard& shard = *shards_[round_shards_[slot]];
+    try {
+      shard.round_executed = shard.scheduler.run_before(round_horizon_);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (!round_error_) round_error_ = std::current_exception();
+    }
+  }
+}
+
+void ParallelScheduler::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      round_start_.wait(
+          lock, [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+    }
+    work_round();
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex_);
+      if (--unfinished_ == 0) round_done_.notify_one();
+    }
+  }
+}
+
+std::size_t ParallelScheduler::execute_round() {
+  ++rounds_;
+  if (workers_.empty() || round_shards_.size() == 1) {
+    // No pool (threads == 1) or nothing to share: run inline without the
+    // wake/sleep handshake.
+    std::size_t executed = 0;
+    for (unsigned index : round_shards_)
+      executed += shards_[index]->scheduler.run_before(round_horizon_);
+    return executed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    round_cursor_.store(0, std::memory_order_relaxed);
+    unfinished_ = workers_.size();
+    ++generation_;
+  }
+  round_start_.notify_all();
+  work_round();
+  {
+    std::unique_lock<std::mutex> lock(pool_mutex_);
+    round_done_.wait(lock, [&] { return unfinished_ == 0; });
+  }
+  if (round_error_) {
+    std::exception_ptr error = round_error_;
+    round_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+  std::size_t executed = 0;
+  for (unsigned index : round_shards_)
+    executed += shards_[index]->round_executed;
+  return executed;
+}
+
+std::size_t ParallelScheduler::drain(const SimTime* deadline) {
+  started_ = true;
+  std::size_t executed = 0;
+  for (;;) {
+    deliver_messages();
+    std::optional<SimTime> next_coord = coord_.next_time();
+    std::optional<SimTime> next_card;
+    for (std::unique_ptr<Shard>& shard : shards_) {
+      const std::optional<SimTime> t = shard->scheduler.next_time();
+      if (t && (!next_card || *t < *next_card)) next_card = t;
+    }
+    if (!next_coord && !next_card) break;
+    const SimTime first = next_coord && (!next_card || *next_coord <= *next_card)
+                              ? *next_coord
+                              : *next_card;
+    if (deadline && first > *deadline) break;
+
+    if (next_coord && (!next_card || *next_coord <= *next_card)) {
+      // Every shard has burned down all work below the coordination
+      // timestamp, so cross-card reads in this batch are exact.  run_until
+      // also absorbs any same-timestamp events the batch schedules.
+      executed += coord_.run_until(*next_coord);
+      continue;
+    }
+
+    // Parallel card round: safe up to (exclusive) the earliest possible
+    // cross-card influence.  Coordination events can only inject work at
+    // >= next_coord; other cards only talk via the coordinator; and the
+    // lookahead window bounds staleness when no coordination event is
+    // pending at all.
+    SimTime horizon = *next_card + lookahead_;
+    if (next_coord && *next_coord < horizon) horizon = *next_coord;
+    if (deadline && *deadline + SimTime::ps(1) < horizon)
+      horizon = *deadline + SimTime::ps(1);  // keep events AT deadline in
+    round_shards_.clear();
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+      const std::optional<SimTime> t = shards_[i]->scheduler.next_time();
+      if (t && *t < horizon) round_shards_.push_back(i);
+    }
+    round_horizon_ = horizon;
+    executed += execute_round();
+  }
+  return executed;
+}
+
+std::size_t ParallelScheduler::run() {
+  const std::size_t executed = drain(nullptr);
+  sync_clocks();
+  return executed;
+}
+
+std::size_t ParallelScheduler::run_until(SimTime deadline) {
+  const std::size_t executed = drain(&deadline);
+  if (deadline > coord_.now()) coord_.run_until(deadline);
+  sync_clocks();
+  return executed;
+}
+
+SimTime ParallelScheduler::now() const noexcept {
+  SimTime t = coord_.now();
+  for (const std::unique_ptr<Shard>& shard : shards_)
+    t = std::max(t, shard->scheduler.now());
+  return t;
+}
+
+bool ParallelScheduler::idle() const noexcept {
+  if (!coord_.idle()) return false;
+  for (const std::unique_ptr<Shard>& shard : shards_)
+    if (!shard->scheduler.idle() || !shard->outbox.empty()) return false;
+  return true;
+}
+
+std::size_t ParallelScheduler::pending() const noexcept {
+  std::size_t total = coord_.pending();
+  for (const std::unique_ptr<Shard>& shard : shards_)
+    total += shard->scheduler.pending() + shard->outbox.size();
+  return total;
+}
+
+void ParallelScheduler::sync_clocks() {
+  const SimTime frontier = now();
+  if (frontier > coord_.now())
+    coord_.run_until(frontier);  // nothing <= frontier pending by contract
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    Scheduler& scheduler = shard->scheduler;
+    if (frontier > scheduler.now()) scheduler.run_until(frontier);
+  }
+}
+
+}  // namespace aad::sim

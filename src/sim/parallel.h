@@ -1,0 +1,174 @@
+// Conservative parallel discrete-event engine.
+//
+// A ParallelScheduler owns one coordination Scheduler ("coord") plus N
+// shard Schedulers, one per simulated card.  Ownership is the whole
+// synchronization story:
+//
+//   * Shard i's events are the card-local pipeline (PCI transfers, config
+//     engine, fabric execution, MCU firmware).  They may freely read and
+//     write card i's state and may send messages to the coordinator via
+//     post_to_coord(); they must never touch another card.
+//   * Coordination events are everything cross-card: fleet dispatch and
+//     routing reads, open-batch queries, refugee re-dispatch on card
+//     death, retry-watchdog timers, fault-plan injections.  They run only
+//     on the driving thread, at instants when every shard has been run up
+//     to (or past) the coordination timestamp — so routing reads observe
+//     exactly the state the classic single-queue engine would have shown.
+//
+// Execution proceeds in bulk-synchronous rounds.  Each iteration the
+// driver computes Tc (earliest coordination event) and Ec (earliest card
+// event across all shards):
+//
+//   * If Tc <= Ec (or no card work remains), the coordinator runs its
+//     whole <= Tc batch inline.  All shards are parked at >= Tc-adjacent
+//     history, so cross-card reads are exact, not snapshots.
+//   * Otherwise the shards run one parallel round bounded by the horizon
+//     H = min(Tc, Ec + lookahead): a worker pool (threads - 1 workers plus
+//     the driving thread) pulls ready shards off a shared index and runs
+//     each with Scheduler::run_before(H).  No card event below H can be
+//     affected by a coordination event (all of those are >= Tc >= H) or by
+//     another card (cards only interact through the coordinator), so the
+//     round is conservative in the classic Chandy–Misra–Bryant sense.
+//
+// The lookahead is the minimum latency between a coordination decision
+// and its first card-visible consequence; the fleet derives it from the
+// PCI command-setup cost.  Messages posted during a round land in
+// per-shard outboxes and are merged into the coordinator between rounds
+// in (when, source shard, per-source posting order) order — a total order
+// independent of thread interleaving, which is what makes a run
+// deterministic for any worker count, including the distribution of
+// shards over workers.
+//
+// With threads == 1 the pool is never spawned and rounds run inline on
+// the driving thread; event pop order is then identical to the classic
+// engine restricted to each scheduler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/time.h"
+
+namespace aad::sim {
+
+class ParallelScheduler {
+ public:
+  /// `shards` card queues driven by `threads` host threads (clamped to
+  /// [1, shards]); `lookahead` must be > 0 — it is the only window in
+  /// which card shards may run ahead of each other.
+  ParallelScheduler(unsigned shards, unsigned threads, SimTime lookahead);
+  ~ParallelScheduler();
+
+  ParallelScheduler(const ParallelScheduler&) = delete;
+  ParallelScheduler& operator=(const ParallelScheduler&) = delete;
+
+  /// The coordination queue.  Host code (fleet submit paths, fault plans)
+  /// schedules cross-card work here directly between run() calls.
+  Scheduler& coord() noexcept { return coord_; }
+  const Scheduler& coord() const noexcept { return coord_; }
+
+  /// Card `index`'s private queue — hand this to the card at construction.
+  Scheduler& shard(unsigned index);
+
+  unsigned shard_count() const noexcept {
+    return static_cast<unsigned>(shards_.size());
+  }
+  unsigned threads() const noexcept { return threads_; }
+  SimTime lookahead() const noexcept { return lookahead_; }
+  /// Retarget the lookahead before the first run (the fleet derives it
+  /// from card timing that only exists after the cards are built).
+  void set_lookahead(SimTime lookahead);
+
+  /// Send work to the coordinator from inside a shard event (worker
+  /// thread safe: each shard's outbox is only touched by the thread
+  /// currently running that shard).  `when` must be >= the shard's clock;
+  /// delivery order is deterministic: (when, source, posting order).
+  void post_to_coord(unsigned source, SimTime when, Scheduler::Action action);
+
+  /// Run rounds until every queue and outbox drains.  Returns events
+  /// executed (coordination + card, cancelled events excluded).
+  std::size_t run();
+
+  /// Run events with timestamp <= `deadline`; afterwards every clock
+  /// reads max(now, deadline), mirroring Scheduler::run_until.
+  std::size_t run_until(SimTime deadline);
+
+  /// Global clock: the furthest-ahead queue.  Between run() calls all
+  /// clocks agree (sync_clocks runs at the end of every drain).
+  SimTime now() const noexcept;
+
+  bool idle() const noexcept;
+  /// Live pending events across coord + all shards (+ undelivered
+  /// outbox messages).
+  std::size_t pending() const noexcept;
+
+  /// Advance every queue's clock to the global now().  Only legal when no
+  /// queue holds an event below that time (e.g. during serialized
+  /// provisioning); run()/run_until() call it automatically on exit.
+  void sync_clocks();
+
+  /// Parallel card rounds executed so far (telemetry).
+  std::uint64_t rounds() const noexcept { return rounds_; }
+
+ private:
+  /// Cross-shard message, ordered by (when, source, seq) at delivery.
+  struct Message {
+    SimTime when;
+    unsigned source;
+    std::uint64_t seq;
+    Scheduler::Action action;
+  };
+  /// Heap-allocated so Scheduler addresses stay stable for the cards.
+  struct Shard {
+    Scheduler scheduler;
+    std::vector<Message> outbox;
+    std::uint64_t next_message_seq = 0;
+    std::size_t round_executed = 0;
+  };
+
+  std::size_t drain(const SimTime* deadline);
+  /// Move every outbox into the coordination queue in deterministic order.
+  void deliver_messages();
+  /// Run the shards listed in round_shards_ up to round_horizon_,
+  /// fanning out over the pool when it exists.  Returns events executed.
+  std::size_t execute_round();
+  /// Claim-and-run loop shared by workers and the driving thread.
+  void work_round();
+  void worker_loop();
+
+  SimTime lookahead_;
+  unsigned threads_;
+  bool started_ = false;  ///< first round ran; lookahead is frozen
+  std::uint64_t rounds_ = 0;
+  Scheduler coord_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Message> mailbox_;  ///< merge scratch, reused across rounds
+
+  // Worker pool: generation-counted barrier.  The driving thread
+  // publishes a round (horizon + ready-shard list) under pool_mutex_,
+  // bumps generation_, and participates; workers claim shard indices via
+  // the atomic cursor.  All shard state written in a round is published
+  // to the driving thread by the final unfinished_ handshake.
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  std::uint64_t generation_ = 0;
+  std::size_t unfinished_ = 0;
+  bool stopping_ = false;
+  SimTime round_horizon_;
+  std::vector<unsigned> round_shards_;
+  std::atomic<std::size_t> round_cursor_{0};
+  std::exception_ptr round_error_;  ///< first failure, rethrown on driver
+};
+
+}  // namespace aad::sim

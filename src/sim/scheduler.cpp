@@ -1,10 +1,17 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/error.h"
 
 namespace aad::sim {
+
+namespace {
+/// Tombstones below this count never trigger compaction: rebuilding a tiny
+/// heap costs more than letting the dead keys drain naturally.
+constexpr std::size_t kCompactionFloor = 64;
+}  // namespace
 
 std::string to_string(SimTime t) {
   char buf[64];
@@ -20,15 +27,40 @@ std::string to_string(SimTime t) {
 EventId Scheduler::schedule_at(SimTime when, Action action) {
   AAD_REQUIRE(when >= now_, "cannot schedule an event in the past");
   const EventId id = next_sequence_++;
-  queue_.push(EventKey{when, id});
+  heap_.push_back(EventKey{when, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   actions_.emplace(id, std::move(action));
   return id;
 }
 
 bool Scheduler::cancel(EventId id) {
-  // The heap keeps the cancelled key until its timestamp drains; only the
-  // action (and everything it captured) is released here.
-  return actions_.erase(id) != 0;
+  // Lazy cancellation: only the action (and everything it captured) is
+  // released here; the heap key becomes a tombstone.
+  if (actions_.erase(id) == 0) return false;
+  ++tombstones_;
+  maybe_compact();
+  return true;
+}
+
+void Scheduler::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+}
+
+void Scheduler::maybe_compact() {
+  if (tombstones_ <= kCompactionFloor || tombstones_ <= actions_.size())
+    return;
+  // Keep only keys whose action is still live, then re-heapify.  Relative
+  // pop order is untouched — (when, sequence) is a total order, so the
+  // rebuilt heap drains in exactly the sequence the old one would have.
+  auto live_end = std::remove_if(
+      heap_.begin(), heap_.end(), [this](const EventKey& key) {
+        return actions_.find(key.sequence) == actions_.end();
+      });
+  heap_.erase(live_end, heap_.end());
+  heap_.shrink_to_fit();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  tombstones_ = 0;
 }
 
 void Scheduler::advance(SimTime delay) {
@@ -41,11 +73,14 @@ void Scheduler::advance(SimTime delay) {
 
 std::size_t Scheduler::run() {
   std::size_t executed = 0;
-  while (!queue_.empty()) {
-    const EventKey key = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const EventKey key = heap_.front();
+    pop_top();
     const auto it = actions_.find(key.sequence);
-    if (it == actions_.end()) continue;  // cancelled: skip, no time advance
+    if (it == actions_.end()) {  // cancelled: skip, no time advance
+      if (tombstones_ > 0) --tombstones_;
+      continue;
+    }
     // Move out before erasing: the action may schedule more events.
     Action action = std::move(it->second);
     actions_.erase(it);
@@ -58,11 +93,14 @@ std::size_t Scheduler::run() {
 
 std::size_t Scheduler::run_until(SimTime deadline) {
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    const EventKey key = queue_.top();
-    queue_.pop();
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    const EventKey key = heap_.front();
+    pop_top();
     const auto it = actions_.find(key.sequence);
-    if (it == actions_.end()) continue;  // cancelled: skip, no time advance
+    if (it == actions_.end()) {  // cancelled: skip, no time advance
+      if (tombstones_ > 0) --tombstones_;
+      continue;
+    }
     Action action = std::move(it->second);
     actions_.erase(it);
     now_ = key.when;
@@ -73,9 +111,41 @@ std::size_t Scheduler::run_until(SimTime deadline) {
   return executed;
 }
 
+std::size_t Scheduler::run_before(SimTime horizon) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.front().when < horizon) {
+    const EventKey key = heap_.front();
+    pop_top();
+    const auto it = actions_.find(key.sequence);
+    if (it == actions_.end()) {  // cancelled: skip, no time advance
+      if (tombstones_ > 0) --tombstones_;
+      continue;
+    }
+    Action action = std::move(it->second);
+    actions_.erase(it);
+    now_ = key.when;
+    action();
+    ++executed;
+  }
+  return executed;
+}
+
+std::optional<SimTime> Scheduler::next_time() {
+  // Dead keys on top carry no information; shed them so the reported next
+  // timestamp is a live event the caller can actually wait for.
+  while (!heap_.empty() &&
+         actions_.find(heap_.front().sequence) == actions_.end()) {
+    pop_top();
+    if (tombstones_ > 0) --tombstones_;
+  }
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().when;
+}
+
 void Scheduler::clear() {
-  while (!queue_.empty()) queue_.pop();
+  heap_.clear();
   actions_.clear();
+  tombstones_ = 0;
 }
 
 }  // namespace aad::sim

@@ -12,11 +12,23 @@
 // state (request payloads, completion hooks) alive until its timestamp
 // drains — and a cancelled slot is skipped without advancing time or
 // counting as executed.
+//
+// Cancellation is lazy: the heap keeps a dead EventKey (a "tombstone")
+// until its timestamp drains.  Fault-heavy runs arm one watchdog per
+// request and disarm almost all of them, so tombstones would otherwise
+// accumulate one per request; cancel() therefore compacts the heap once
+// tombstones outnumber live events (and exceed a small floor), keeping the
+// heap O(live events) regardless of cancel churn.
+//
+// One Scheduler is single-owner state: it is either driven directly
+// (classic single-threaded mode) or owned by one shard of a
+// sim::ParallelScheduler, which guarantees at most one thread touches it
+// at a time.  There is no internal locking.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -61,9 +73,22 @@ class Scheduler {
   /// max(now, deadline) even if the queue drained earlier.
   std::size_t run_until(SimTime deadline);
 
+  /// Run events with timestamp strictly < `horizon`, leaving `now()` at the
+  /// last executed event (NOT advanced to the horizon).  This is the
+  /// bounded-round primitive of the parallel engine: a shard may only burn
+  /// down work it provably owns, and its clock must keep reporting real
+  /// progress so the coordinator can compute the next safe horizon.
+  std::size_t run_before(SimTime horizon);
+
+  /// Timestamp of the earliest live event, or nullopt when idle.  Pops any
+  /// dead keys sitting on top of the heap as a side effect.
+  std::optional<SimTime> next_time();
+
   bool idle() const noexcept { return actions_.empty(); }
   /// Live (not cancelled) pending events.
   std::size_t pending() const noexcept { return actions_.size(); }
+  /// Heap slots currently held, live + tombstones (compaction telemetry).
+  std::size_t heap_size() const noexcept { return heap_.size(); }
 
   /// Drop all pending events (device reset).
   void clear();
@@ -82,9 +107,15 @@ class Scheduler {
     }
   };
 
+  /// Pop the heap top; the caller already holds a copy of it.
+  void pop_top();
+  /// Rebuild the heap with live keys only once tombstones dominate.
+  void maybe_compact();
+
   SimTime now_ = SimTime::zero();
   std::uint64_t next_sequence_ = 0;
-  std::priority_queue<EventKey, std::vector<EventKey>, Later> queue_;
+  std::vector<EventKey> heap_;  ///< binary heap (std::push_heap/pop_heap)
+  std::size_t tombstones_ = 0;  ///< cancelled keys still parked in heap_
   std::unordered_map<std::uint64_t, Action> actions_;  ///< live events
 };
 

@@ -1,0 +1,360 @@
+// The sharded conservative-parallel simulation engine (sim/parallel.h) and
+// its fleet integration (FleetConfig::threads).
+//
+// Two layers of guarantees, both held here:
+//
+//   1. Engine-level — conservative synchronization is OBSERVED, not just
+//      asserted: a coordination event reads shard state and must see
+//      exactly the prefix of card history below its timestamp; cross-shard
+//      messages merge in (when, source, posting order); clocks and counts
+//      behave like the classic engine's.
+//   2. Fleet-level equivalence — the headline property from the PR:
+//      digest(threads=N) == digest(threads=1) for open-loop traces across
+//      seeds and dispatch x device x batch x fault combinations (a new
+//      slot axis over tests/invariant_harness.h), plus run-to-run
+//      determinism for a fixed thread count, with the invariant suite
+//      staying clean under the parallel engine.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fleet.h"
+#include "invariant_harness.h"
+#include "sim/parallel.h"
+
+namespace aad {
+namespace {
+
+using sim::ParallelScheduler;
+using sim::SimTime;
+
+// --- engine level -----------------------------------------------------------
+
+TEST(ParallelSchedulerTest, CoordinationEventSeesExactShardPrefix) {
+  // Shard 0 writes x=1 at 5ns and x=2 at 15ns; a coordination event at
+  // 10ns reads x.  A huge lookahead would LET the shard run to 15ns in one
+  // round — the coordination horizon must stop it at 10ns first, so the
+  // read sees 1.  This is the routing-reads-are-exact property the fleet
+  // depends on.
+  ParallelScheduler engine(2, 2, SimTime::ms(1));
+  int x = 0;
+  int seen = -1;
+  engine.shard(0).schedule_at(SimTime::ns(5), [&] { x = 1; });
+  engine.shard(0).schedule_at(SimTime::ns(15), [&] { x = 2; });
+  engine.coord().schedule_at(SimTime::ns(10), [&] { seen = x; });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(seen, 1);
+  EXPECT_EQ(x, 2);
+  EXPECT_EQ(engine.now(), SimTime::ns(15));
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(ParallelSchedulerTest, SameTimeMessagesMergeBySourceShard) {
+  // Four shards each post a coordination message dated at the same
+  // instant, from events racing on the worker pool; delivery must be
+  // source-ordered (then posting-ordered within a source), independent of
+  // which worker ran which shard first.
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ParallelScheduler engine(4, threads, SimTime::ns(10));
+    std::vector<int> order;
+    for (unsigned s = 0; s < 4; ++s) {
+      engine.shard(s).schedule_at(SimTime::ns(7), [&engine, &order, s] {
+        engine.post_to_coord(s, SimTime::ns(7),
+                             [&order, s] { order.push_back(static_cast<int>(s)); });
+        engine.post_to_coord(s, SimTime::ns(7), [&order, s] {
+          order.push_back(static_cast<int>(s) + 10);
+        });
+      });
+    }
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 1, 11, 2, 12, 3, 13}))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSchedulerTest, ShardsAdvanceInLookaheadWindowsWhenCoordIsIdle) {
+  // With no coordination events pending, shards may only outrun the
+  // slowest shard's next event by the lookahead — staleness of any future
+  // cross-shard interaction is bounded by construction.
+  ParallelScheduler engine(2, 2, SimTime::ns(10));
+  std::vector<std::pair<int, std::int64_t>> log;  // (shard, time) on coord
+  for (int k = 1; k <= 3; ++k) {
+    engine.shard(0).schedule_at(SimTime::ns(k), [&engine, &log, k] {
+      engine.post_to_coord(0, SimTime::ns(k),
+                           [&log, k] { log.emplace_back(0, k); });
+    });
+    engine.shard(1).schedule_at(SimTime::ns(100 * k), [&engine, &log, k] {
+      engine.post_to_coord(1, SimTime::ns(100 * k),
+                           [&log, k] { log.emplace_back(1, 100 * k); });
+    });
+  }
+  engine.run();
+  // Merged coordination order is globally time-sorted.
+  const std::vector<std::pair<int, std::int64_t>> want = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 100}, {1, 200}, {1, 300}};
+  EXPECT_EQ(log, want);
+  EXPECT_GE(engine.rounds(), 2u);  // bounded windows force multiple rounds
+}
+
+TEST(ParallelSchedulerTest, RunUntilStopsAtDeadlineAndAlignsClocks) {
+  ParallelScheduler engine(2, 2, SimTime::ns(5));
+  int fired = 0;
+  engine.shard(0).schedule_at(SimTime::ns(8), [&] { ++fired; });
+  engine.shard(1).schedule_at(SimTime::ns(20), [&] { ++fired; });
+  engine.coord().schedule_at(SimTime::ns(12), [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(SimTime::ns(15)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now(), SimTime::ns(15));
+  EXPECT_EQ(engine.coord().now(), SimTime::ns(15));
+  EXPECT_EQ(engine.shard(0).now(), SimTime::ns(15));
+  EXPECT_EQ(engine.pending(), 1u);
+  EXPECT_EQ(engine.run(), 1u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.now(), SimTime::ns(20));
+}
+
+TEST(ParallelSchedulerTest, CoordinationMayScheduleOntoShards) {
+  // The fleet's dispatch hop: a coordination event at t plants a card
+  // event at the same t; the card must still run it (next round).
+  ParallelScheduler engine(2, 2, SimTime::ns(5));
+  std::vector<int> order;
+  engine.coord().schedule_at(SimTime::ns(10), [&] {
+    order.push_back(0);
+    engine.shard(1).schedule_at(SimTime::ns(10), [&] { order.push_back(1); });
+  });
+  EXPECT_EQ(engine.run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(ParallelSchedulerTest, WorkerExceptionPropagatesToTheDriver) {
+  ParallelScheduler engine(2, 2, SimTime::ns(5));
+  engine.shard(0).schedule_at(SimTime::ns(1), [] {});
+  engine.shard(1).schedule_at(SimTime::ns(2),
+                              [] { AAD_CHECK(false, "shard blew up"); });
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(ParallelSchedulerTest, SameWorkloadSameLogForEveryThreadCount) {
+  // A synthetic mesh of card chains + cross-shard messages; the merged
+  // coordination log (the only shared observable) must be identical for
+  // 1, 2, and 3 threads.
+  const auto run_log = [](unsigned threads) {
+    ParallelScheduler engine(3, threads, SimTime::ns(7));
+    std::vector<std::int64_t> log;
+    for (unsigned s = 0; s < 3; ++s) {
+      // Self-rescheduling chain: event k schedules event k+1.
+      struct Chain {
+        ParallelScheduler* engine;
+        std::vector<std::int64_t>* log;
+        unsigned shard;
+        int remaining;
+        void fire() {
+          const SimTime t = engine->shard(shard).now();
+          engine->post_to_coord(
+              shard, t, [log = log, v = t.picoseconds() * 10 + shard] {
+                log->push_back(static_cast<std::int64_t>(v));
+              });
+          if (--remaining > 0) {
+            engine->shard(shard).schedule_after(
+                SimTime::ns(3 + shard), [self = *this]() mutable { self.fire(); });
+          }
+        }
+      };
+      Chain chain{&engine, &log, s, 20};
+      engine.shard(s).schedule_at(SimTime::ns(1 + s),
+                                  [chain]() mutable { chain.fire(); });
+    }
+    engine.run();
+    return log;
+  };
+  const std::vector<std::int64_t> baseline = run_log(1);
+  EXPECT_EQ(baseline.size(), 60u);
+  EXPECT_EQ(run_log(2), baseline);
+  EXPECT_EQ(run_log(3), baseline);
+}
+
+// --- fleet level ------------------------------------------------------------
+
+// The slot axis: dispatch x device x batch x fault combinations the
+// equivalence sweep crosses with seeds.  Mirrors test_faults' sweep shape
+// but pins each slot explicitly so a digest mismatch names its recipe.
+struct Slot {
+  const char* name;
+  void (*mutate)(harness::HarnessConfig&);
+};
+
+const Slot kSlots[] = {
+    {"round-robin/fifo/none/fault-free",
+     [](harness::HarnessConfig& hc) {
+       hc.dispatch = core::DispatchPolicy::kRoundRobin;
+       hc.death_rate_per_ms = 0.0;
+     }},
+    {"least-queued/fifo/greedy/deaths",
+     [](harness::HarnessConfig& hc) {
+       hc.dispatch = core::DispatchPolicy::kLeastQueued;
+       hc.batch.mode = core::BatchMode::kGreedy;
+     }},
+    {"affinity/resident-first/none/deaths",
+     [](harness::HarnessConfig& hc) {
+       hc.device = core::DevicePolicy::kResidentFirst;
+     }},
+    {"affinity/fifo/windowed/deaths+delta",
+     [](harness::HarnessConfig& hc) {
+       hc.batch.mode = core::BatchMode::kWindowed;
+       hc.delta_reconfig = true;
+     }},
+    {"affinity/fifo/none/deaths+watchdog",
+     [](harness::HarnessConfig& hc) {
+       hc.timeout = sim::SimTime::us(800);
+     }},
+    {"affinity/fifo/greedy/corruption",
+     [](harness::HarnessConfig& hc) {
+       hc.batch.mode = core::BatchMode::kGreedy;
+       hc.death_rate_per_ms = 0.0;
+       hc.corruption_rate_per_ms = 0.25;
+     }},
+};
+
+harness::HarnessConfig slot_config(const Slot& slot, std::uint64_t seed,
+                                   unsigned threads) {
+  harness::HarnessConfig hc;
+  hc.seed = seed;
+  hc.threads = threads;
+  // Compact traffic + fault horizon so deaths land while requests fly.
+  hc.death_rate_per_ms = 0.3;
+  hc.mean_downtime = sim::SimTime::us(400);
+  hc.fault_horizon = sim::SimTime::ms(3);
+  hc.clients = 4;
+  hc.bursts = 2;
+  hc.burst_size = 4;
+  slot.mutate(hc);
+  return hc;
+}
+
+std::uint64_t run_digest(const harness::HarnessConfig& hc) {
+  harness::InvariantHarness h(hc);
+  h.run();
+  return h.digest();
+}
+
+TEST(ParallelFleetEquivalenceTest, DigestMatchesSingleThreadAcrossSeeds) {
+  // The headline property: for open-loop traces the parallel engine is not
+  // "statistically close" to the classic one — it is outcome-identical.
+  // >= 10 seeds per slot (60 fleet pairs at the default count).
+  const unsigned seeds = std::max(10u, harness::invariant_seed_count(10));
+  for (const Slot& slot : kSlots) {
+    for (unsigned s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = 4200 + s;
+      const std::uint64_t classic =
+          run_digest(slot_config(slot, seed, 1));
+      const std::uint64_t parallel =
+          run_digest(slot_config(slot, seed, 4));
+      EXPECT_EQ(parallel, classic)
+          << "slot " << slot.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(ParallelFleetEquivalenceTest, FixedThreadCountIsDeterministicRunToRun) {
+  // Determinism is per (seed, workload), not per thread count: any worker
+  // count produces the same digest, twice over.
+  const harness::HarnessConfig two = slot_config(kSlots[4], 777, 2);
+  const harness::HarnessConfig four = slot_config(kSlots[4], 777, 4);
+  const std::uint64_t d2a = run_digest(two);
+  const std::uint64_t d2b = run_digest(two);
+  const std::uint64_t d4a = run_digest(four);
+  const std::uint64_t d4b = run_digest(four);
+  EXPECT_EQ(d2a, d2b);
+  EXPECT_EQ(d4a, d4b);
+  EXPECT_EQ(d2a, d4a);
+}
+
+TEST(ParallelFleetEquivalenceTest, InvariantsHoldUnderTheParallelEngine) {
+  // The full fault-injection invariant suite (conservation, pin hygiene,
+  // death isolation, delta-tracker consistency) on threads=4 runs.
+  for (const Slot& slot : kSlots) {
+    harness::InvariantHarness h(slot_config(slot, 9001, 4));
+    h.run();
+    const std::vector<std::string> violations = h.check();
+    for (const std::string& v : violations)
+      ADD_FAILURE() << "slot " << slot.name << ": " << v;
+  }
+}
+
+TEST(ParallelFleetTest, ProvisioningTimelineMatchesClassic) {
+  // download_all serializes card downloads on one clock in classic mode;
+  // the parallel fleet must land on the SAME instant (the digest mixes
+  // absolute times, so provisioning skew would break every equivalence).
+  core::FleetConfig classic;
+  classic.cards = 4;
+  core::FleetConfig parallel = classic;
+  parallel.threads = 4;
+  core::CoprocessorFleet a(classic);
+  core::CoprocessorFleet b(parallel);
+  a.download_all();
+  b.download_all();
+  EXPECT_GT(a.now(), sim::SimTime::zero());
+  EXPECT_EQ(b.now(), a.now());
+}
+
+TEST(ParallelFleetTest, ThreadCountIsClampedAndReported) {
+  core::FleetConfig fc;
+  fc.cards = 2;
+  fc.threads = 16;  // more threads than cards buys nothing
+  core::CoprocessorFleet fleet(fc);
+  EXPECT_EQ(fleet.threads(), 2u);
+  ASSERT_NE(fleet.parallel_engine(), nullptr);
+  EXPECT_GT(fleet.parallel_engine()->lookahead(), sim::SimTime::zero());
+  core::FleetConfig single;
+  core::CoprocessorFleet classic(single);
+  EXPECT_EQ(classic.threads(), 1u);
+  EXPECT_EQ(classic.parallel_engine(), nullptr);
+}
+
+TEST(ParallelFleetTest, ClosedLoopTrafficDrainsDeterministically) {
+  // Closed-loop resubmissions are round-aligned under the parallel engine
+  // (documented divergence from classic interleaving) — but they must
+  // still drain completely and reproducibly.
+  const auto run_once = [] {
+    core::FleetConfig fc;
+    fc.cards = 4;
+    fc.threads = 4;
+    core::CoprocessorFleet fleet(fc);
+    fleet.download_all();
+    const auto bank = algorithms::function_bank();
+    std::uint64_t completed = 0;
+    // 3 clients, each chaining 8 requests: completion k submits k+1.
+    struct Loop {
+      core::CoprocessorFleet* fleet;
+      const std::vector<memory::FunctionId>* bank;
+      std::uint64_t* completed;
+      unsigned client;
+      int remaining;
+      void next() {
+        const memory::FunctionId fn =
+            (*bank)[(client + static_cast<unsigned>(remaining)) % bank->size()];
+        fleet->submit_function(
+            client, fn, algorithms::bank_input(fn, 2, client),
+            [self = *this](const core::ServerRequest&) mutable {
+              ++*self.completed;
+              if (--self.remaining > 0) self.next();
+            });
+      }
+    };
+    for (unsigned c = 0; c < 3; ++c) {
+      Loop loop{&fleet, &bank, &completed, c, 8};
+      loop.next();
+    }
+    fleet.run();
+    EXPECT_EQ(completed, 24u);
+    EXPECT_TRUE(fleet.sim_idle());
+    EXPECT_EQ(fleet.in_flight(), 0u);
+    return harness::fleet_digest(fleet);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace aad

@@ -2,6 +2,7 @@
 // scheduler's ordering guarantees, and activity tracing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -222,6 +223,91 @@ TEST(SchedulerCancelTest, CancelFromInsideAnEarlierEvent) {
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(s.now(), SimTime::ns(10));  // cancelled tail never advances now
   EXPECT_TRUE(s.idle());
+}
+
+TEST(SchedulerCancelTest, TombstonesAreCompactedAwayBeforeTheirTimestamp) {
+  // The watchdog churn pattern: one timer armed per request, almost every
+  // one disarmed by its completion long before the timeout timestamp.
+  // Lazy cancellation must not let the dead keys pile up in the heap for
+  // the whole window — the heap stays O(live events), not O(cancels).
+  Scheduler s;
+  constexpr int kRequests = 20000;
+  std::vector<EventId> timers;
+  timers.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i)
+    timers.push_back(s.schedule_at(SimTime::ms(100) + SimTime::ns(i), [] {}));
+  int fired = 0;
+  const EventId survivor = s.schedule_at(SimTime::ms(200), [&] { ++fired; });
+  for (const EventId id : timers) EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(s.pending(), 1u);
+  // Far below the 20001 keys pushed; generous headroom over the
+  // pending+floor bound so the exact trigger point can evolve.
+  EXPECT_LE(s.heap_size(), 256u);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), SimTime::ms(200));
+  EXPECT_FALSE(s.cancel(survivor));  // already fired
+}
+
+TEST(SchedulerCancelTest, CompactionKeepsPopOrderAndLiveEvents) {
+  // Interleave live and cancelled events across shuffled timestamps, force
+  // compaction, then verify the drain is byte-for-byte the classic order:
+  // time-sorted, FIFO among equal timestamps, no cancelled slot firing.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> victims;
+  for (int i = 0; i < 300; ++i) {
+    const SimTime when = SimTime::ns(10 + (i * 7919) % 97);
+    if (i % 3 == 0) {
+      s.schedule_at(when, [&order, i] { order.push_back(i); });
+    } else {
+      victims.push_back(
+          s.schedule_at(when, [] { FAIL() << "cancelled, must not run"; }));
+    }
+  }
+  for (const EventId id : victims) EXPECT_TRUE(s.cancel(id));
+  EXPECT_LE(s.heap_size(), s.pending() + 64u);
+  EXPECT_EQ(s.run(), 100u);
+  EXPECT_EQ(order.size(), 100u);
+  // Reconstruct the expected order: stable sort of the live posts by time.
+  std::vector<int> expected;
+  for (int i = 0; i < 300; i += 3) expected.push_back(i);
+  std::stable_sort(expected.begin(), expected.end(), [](int a, int b) {
+    return (10 + (a * 7919) % 97) < (10 + (b * 7919) % 97);
+  });
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, NextTimeReportsEarliestLiveEvent) {
+  Scheduler s;
+  EXPECT_FALSE(s.next_time().has_value());
+  const EventId early = s.schedule_at(SimTime::ns(5), [] {});
+  s.schedule_at(SimTime::ns(9), [] {});
+  EXPECT_EQ(s.next_time(), SimTime::ns(5));
+  // Cancelling the front must expose the next LIVE timestamp, not the
+  // tombstone's.
+  EXPECT_TRUE(s.cancel(early));
+  EXPECT_EQ(s.next_time(), SimTime::ns(9));
+  s.run();
+  EXPECT_FALSE(s.next_time().has_value());
+}
+
+TEST(SchedulerTest, RunBeforeStopsShortAndLeavesTimeAtLastEvent) {
+  // run_before is the parallel engine's bounded-round primitive: events
+  // strictly below the horizon run, the clock is NOT dragged forward to
+  // the horizon (the shard must keep reporting real progress).
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(SimTime::ns(5), [&] { order.push_back(5); });
+  s.schedule_at(SimTime::ns(10), [&] { order.push_back(10); });
+  s.schedule_at(SimTime::ns(15), [&] { order.push_back(15); });
+  EXPECT_EQ(s.run_before(SimTime::ns(10)), 1u);  // 10 is NOT < 10
+  EXPECT_EQ(s.now(), SimTime::ns(5));
+  EXPECT_EQ(s.run_before(SimTime::ns(16)), 2u);
+  EXPECT_EQ(order, (std::vector<int>{5, 10, 15}));
+  EXPECT_EQ(s.now(), SimTime::ns(15));
+  EXPECT_EQ(s.run_before(SimTime::ns(100)), 0u);  // drained: time holds
+  EXPECT_EQ(s.now(), SimTime::ns(15));
 }
 
 TEST(TraceTest, StageTotalsAccumulate) {
