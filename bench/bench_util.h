@@ -275,6 +275,28 @@ inline std::optional<compress::CodecId> codec_flag() {
   }
 }
 
+/// Shared `--prefetch on|off` / `--predictor <min_confidence>` flags: the
+/// speculative-prefetch switch the prefetch-aware benches honor.  Kept as a
+/// plain struct (not core::PrefetchConfig) so this header stays
+/// dependency-light; benches copy the two fields into their ServerConfig.
+struct PrefetchFlags {
+  bool enabled = false;
+  double min_confidence = 0.55;
+};
+
+inline PrefetchFlags prefetch_flags(bool default_enabled = false,
+                                    double default_confidence = 0.55) {
+  PrefetchFlags pf;
+  pf.enabled = flags().get_bool("prefetch", default_enabled);
+  pf.min_confidence = flags().get_double("predictor", default_confidence);
+  if (pf.min_confidence < 0.0 || pf.min_confidence > 1.0) {
+    std::fprintf(stderr, "--predictor expects a confidence in [0,1], got %g\n",
+                 pf.min_confidence);
+    std::exit(2);
+  }
+  return pf;
+}
+
 }  // namespace aad::bench
 
 /// Each bench defines this: prints its experiment table(s) and records

@@ -44,6 +44,11 @@ CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
   // the fault-free configuration keeps the original zero-overhead path.
   fault_mode_ =
       !faults_.empty() || retry_.timeout > sim::SimTime::zero();
+  // The fleet's own predictor sees the UNSPLIT arrival stream at dispatch
+  // time; the per-card predictors only see what routing sends them.  Both
+  // are inert (and cost nothing) unless the server config enables prefetch.
+  prefetch_enabled_ = config.server.prefetch.enabled;
+  predictor_ = FunctionPredictor(config.server.prefetch.predictor);
   if (config.threads >= 2) {
     const sim::SimTime lookahead = config.lookahead > sim::SimTime::zero()
                                        ? config.lookahead
@@ -165,6 +170,7 @@ void CoprocessorFleet::dispatch(unsigned client, memory::FunctionId function,
       parallel_ ? std::max(sim_now(), shard.card->now()) : now();
   shard.server->submit_function_at(when, client, function, std::move(input),
                                    std::move(hook));
+  if (prefetch_enabled_) maybe_cross_prefetch(client, function, index);
 }
 
 bool CoprocessorFleet::any_alive() const {
@@ -238,6 +244,8 @@ void CoprocessorFleet::dispatch_ticket(std::uint64_t ticket) {
   if (retry_.timeout > sim::SimTime::zero())
     state.timeout_event = coord().schedule_at(
         sim_now() + retry_.timeout, [this, ticket] { on_timeout(ticket); });
+  if (prefetch_enabled_)
+    maybe_cross_prefetch(state.client, state.function, card);
 }
 
 void CoprocessorFleet::on_card_complete(std::uint64_t ticket,
@@ -383,7 +391,9 @@ unsigned CoprocessorFleet::least_queued() const {
 }
 
 unsigned CoprocessorFleet::choose(memory::FunctionId function,
-                                  bool& affinity_hit, bool& delta_hit) const {
+                                  bool& prefetch_hit, bool& affinity_hit,
+                                  bool& delta_hit) const {
+  prefetch_hit = false;
   affinity_hit = false;
   delta_hit = false;
   switch (policy_) {
@@ -419,6 +429,28 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
       if (found) {
         affinity_hit = true;
         return best;
+      }
+      // Second: a card that PREFETCHED this function and still holds the
+      // speculation unconsumed.  Stronger than mere residency — the frames
+      // were loaded FOR this demand, and consuming the speculation here
+      // both scores the guaranteed hit and frees the speculative marker
+      // (an unconsumed marker leaves the frames first in line for
+      // stealing).  Inert unless prefetch is enabled.
+      if (prefetch_enabled_) {
+        for (unsigned i = 0; i < card_count(); ++i) {
+          if (!shards_[i].alive) continue;
+          if (!shards_[i].server->prefetch_resident(function)) continue;
+          if (!found ||
+              shards_[i].server->in_flight() <
+                  shards_[best].server->in_flight()) {
+            best = i;
+            found = true;
+          }
+        }
+        if (found) {
+          prefetch_hit = true;
+          return best;
+        }
       }
       // Otherwise, among the cards already holding the configuration — or
       // with an in-flight request about to load it (function_inbound) —
@@ -477,17 +509,19 @@ unsigned CoprocessorFleet::choose(memory::FunctionId function,
 }
 
 unsigned CoprocessorFleet::preview_card(memory::FunctionId function) const {
-  bool affinity_hit = false, delta_hit = false;
-  return choose(function, affinity_hit, delta_hit);
+  bool prefetch_hit = false, affinity_hit = false, delta_hit = false;
+  return choose(function, prefetch_hit, affinity_hit, delta_hit);
 }
 
 unsigned CoprocessorFleet::route(memory::FunctionId function) {
-  bool affinity_hit = false, delta_hit = false;
-  const unsigned card = choose(function, affinity_hit, delta_hit);
+  bool prefetch_hit = false, affinity_hit = false, delta_hit = false;
+  const unsigned card = choose(function, prefetch_hit, affinity_hit, delta_hit);
   if (policy_ == DispatchPolicy::kRoundRobin) {
     ++rr_cursor_;
   } else if (policy_ == DispatchPolicy::kResidencyAffinity) {
-    if (affinity_hit)
+    if (prefetch_hit)
+      ++prefetch_routed_;
+    else if (affinity_hit)
       ++affinity_routed_;
     else if (delta_hit)
       ++delta_routed_;
@@ -495,6 +529,66 @@ unsigned CoprocessorFleet::route(memory::FunctionId function) {
       ++affinity_fallback_;
   }
   return card;
+}
+
+bool CoprocessorFleet::prefetch_placeable(unsigned card,
+                                          memory::FunctionId function) const {
+  const mcu::Mcu& mcu = shards_[card].card->mcu();
+  const mcu::LoadEstimate est = mcu.estimate_load(function);
+  return est.known && !est.resident && est.evictions == 0;
+}
+
+void CoprocessorFleet::maybe_cross_prefetch(unsigned client,
+                                            memory::FunctionId function,
+                                            unsigned chosen) {
+  // Train on the routed stream.  This runs on the coordination queue at
+  // the dispatch instant — which pre-exists in the queue for open-loop
+  // traffic and bounds every shard's progress — so observations, and the
+  // prefetches they trigger, land identically under any thread count.
+  predictor_.observe(client, function);
+  if (card_count() < 2) return;  // nothing to hand the speculation to
+  const auto prediction = predictor_.predict(client);
+  if (!prediction) return;
+  const memory::FunctionId next = prediction->function;
+  if (next == function) return;
+  for (const Shard& shard : shards_) {
+    if (!shard.alive) continue;
+    if (shard.card->mcu().is_resident(next) ||
+        shard.server->function_inbound(next) ||
+        shard.server->prefetch_resident(next))
+      return;  // already warm, or warming, somewhere
+  }
+  // Placement ladder.  The prefetched routing tier sends the eventual
+  // demand to WHICHEVER card warmed the function, so placement is free to
+  // chase the cheapest home: the demand's own card when it has free frames
+  // (locality — the client's next request heads there anyway), else a
+  // sibling with free frames (the cross-card path: a cold card warms what
+  // the hot card cannot hold), else the demand's card again and its pump
+  // may evict idle residents.
+  unsigned target = chosen;
+  if (!shards_[chosen].alive || !prefetch_placeable(chosen, next)) {
+    bool found = false;
+    unsigned best = 0;
+    for (unsigned i = 0; i < card_count(); ++i) {
+      if (i == chosen || !shards_[i].alive) continue;
+      if (!prefetch_placeable(i, next)) continue;
+      if (!found ||
+          shards_[i].server->in_flight() < shards_[best].server->in_flight()) {
+        best = i;
+        found = true;
+      }
+    }
+    if (found) {
+      ++prefetch_cross_;
+      target = best;
+    } else if (!shards_[chosen].alive) {
+      return;
+    }
+  }
+  Shard& home = shards_[target];
+  const sim::SimTime when =
+      parallel_ ? std::max(sim_now(), home.card->now()) : now();
+  home.server->queue_prefetch_at(when, next);
 }
 
 std::size_t CoprocessorFleet::run() {
@@ -531,9 +625,11 @@ std::uint64_t CoprocessorFleet::in_flight() const {
 
 FleetStats CoprocessorFleet::stats() const {
   FleetStats stats;
+  stats.prefetch_routed = prefetch_routed_;
   stats.affinity_routed = affinity_routed_;
   stats.delta_routed = delta_routed_;
   stats.affinity_fallback = affinity_fallback_;
+  stats.prefetch_cross = prefetch_cross_;
   stats.deaths = deaths_;
   stats.redispatched = redispatched_;
   stats.retries = retries_;
@@ -586,6 +682,10 @@ FleetStats CoprocessorFleet::stats() const {
     stats.failed += card.server.failed;
     stats.crc_rejects += card.server.crc_rejects;
     stats.refetches += card.server.refetches;
+    stats.prefetch_issued += card.server.prefetch_issued;
+    stats.prefetch_hits += card.server.prefetch_hits;
+    stats.prefetch_wasted += card.server.prefetch_wasted;
+    stats.hidden_reconfig_prefetch += card.server.hidden_reconfig_prefetch;
     for (const auto& [codec, picks] : card.server.codec_picks)
       stats.codec_picks[codec] += picks;
     stats.cards.push_back(std::move(card));

@@ -182,6 +182,10 @@ struct FleetStats {
   std::uint64_t bytes_streamed = 0;
   std::map<compress::CodecId, std::uint64_t> codec_picks;
   /// Residency-affinity accounting (zero under the other policies):
+  std::uint64_t prefetch_routed = 0;    ///< sent to the card that PREFETCHED
+                                        ///< the config (tier between
+                                        ///< open-batch and resident; zero
+                                        ///< unless prefetch is enabled)
   std::uint64_t affinity_routed = 0;    ///< sent to a card holding the config
                                         ///< (resident, or inbound in flight)
   std::uint64_t delta_routed = 0;       ///< cheap-delta tier: sent to the
@@ -201,6 +205,15 @@ struct FleetStats {
   std::uint64_t failed = 0;
   std::uint64_t crc_rejects = 0;   ///< corrupted-bitstream load rejections
   std::uint64_t refetches = 0;     ///< ROM repairs from the pristine copy
+  // Speculative prefetch, fleet-wide (ServerStats sums; zero when off):
+  std::uint64_t prefetch_issued = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_wasted = 0;
+  sim::SimTime hidden_reconfig_prefetch;
+  /// Cross-card prefetches handed to a cold sibling because the card the
+  /// client's demand was heading to could not place the predicted next
+  /// function in free frames.
+  std::uint64_t prefetch_cross = 0;
   std::vector<FleetCardStats> cards;    ///< per-card breakdown, by index
 };
 
@@ -376,10 +389,19 @@ class CoprocessorFleet {
     parallel_->sync_clocks();
   }
   unsigned least_queued() const;
-  unsigned choose(memory::FunctionId function, bool& affinity_hit,
-                  bool& delta_hit) const;
+  unsigned choose(memory::FunctionId function, bool& prefetch_hit,
+                  bool& affinity_hit, bool& delta_hit) const;
   /// preview_card + the state updates (cursor, affinity counters).
   unsigned route(memory::FunctionId function);
+  /// Can `card` take `function` into FREE frames right now?  (Speculative
+  /// loads never evict demand residents.)
+  bool prefetch_placeable(unsigned card, memory::FunctionId function) const;
+  /// Train the fleet predictor on the dispatch stream and, when the card
+  /// the demand went to cannot hold the predicted NEXT function, hand the
+  /// speculation to a cold sibling.  Runs at dispatch (coordination) time,
+  /// so the trigger is thread-count-invariant.
+  void maybe_cross_prefetch(unsigned client, memory::FunctionId function,
+                            unsigned chosen);
   void dispatch(unsigned client, memory::FunctionId function, Bytes input,
                 Completion done);
   bool any_alive() const;
@@ -406,6 +428,13 @@ class CoprocessorFleet {
   std::uint64_t affinity_routed_ = 0;
   std::uint64_t delta_routed_ = 0;
   std::uint64_t affinity_fallback_ = 0;
+  // Speculative prefetch at the fleet edge.  The fleet keeps its OWN
+  // predictor trained on the arrival stream it routes (the per-card
+  // predictors only see requests after routing splits the stream).
+  bool prefetch_enabled_ = false;
+  FunctionPredictor predictor_;
+  std::uint64_t prefetch_routed_ = 0;
+  std::uint64_t prefetch_cross_ = 0;
   // Fault machinery.  fault_mode_ gates the ticket-tracking dispatch path:
   // off (empty plan, zero timeout), submissions flow exactly as before —
   // the fault subsystem costs the fault-free build nothing.

@@ -155,4 +155,54 @@ MultiClientTrace make_incremental(const IncrementalConfig& config) {
   return trace;
 }
 
+MultiClientTrace make_phased(const PhasedConfig& config) {
+  AAD_REQUIRE(!config.functions.empty(), "phased trace needs a function bank");
+  AAD_REQUIRE(config.clients >= 1, "need at least one client");
+  AAD_REQUIRE(config.phases >= 1, "need at least one phase per client");
+  AAD_REQUIRE(config.requests_per_phase >= 1,
+              "need at least one request per phase");
+  AAD_REQUIRE(config.working_set >= 1, "window needs at least one function");
+  AAD_REQUIRE(config.working_set <= config.functions.size(),
+              "window larger than the function bank");
+  AAD_REQUIRE(config.wander >= 0.0 && config.wander <= 1.0,
+              "wander must be a probability");
+
+  MultiClientTrace trace;
+  trace.mode = ArrivalMode::kOpenLoop;
+  trace.clients.resize(config.clients);
+
+  const std::size_t bank = config.functions.size();
+  for (unsigned c = 0; c < config.clients; ++c) {
+    ClientTrace& ct = trace.clients[c];
+    ct.client = c;
+
+    // Staggered start: client c's windows begin c * working_set into the
+    // bank, so concurrent clients overlap only partially and no single
+    // card can simply hold the union resident.
+    const std::size_t base = (static_cast<std::size_t>(c) * config.working_set) % bank;
+    Prng rng(config.seed * 1000003ull + c);
+    Prng arrivals((config.seed * 1000003ull + c) ^ 0xD7D7D7D7D7D7D7D7ull);
+
+    sim::SimTime clock;  // running open-loop arrival time
+    ct.requests.reserve(config.phases * config.requests_per_phase);
+    for (std::size_t p = 0; p < config.phases; ++p) {
+      const std::size_t start = (base + p * config.phase_stride) % bank;
+      for (std::size_t i = 0; i < config.requests_per_phase; ++i) {
+        ClientRequest cr;
+        if (config.wander > 0.0 && rng.next_double() < config.wander) {
+          cr.function =
+              config.functions[rng.next_below(static_cast<std::uint64_t>(bank))];
+        } else {
+          cr.function = config.functions[(start + i % config.working_set) % bank];
+        }
+        cr.payload_blocks = config.payload_blocks;
+        clock += exponential(arrivals, config.mean_interarrival);
+        cr.offset = clock;
+        ct.requests.push_back(cr);
+      }
+    }
+  }
+  return trace;
+}
+
 }  // namespace aad::workload

@@ -137,4 +137,38 @@ struct IncrementalConfig {
 /// Deterministic in `config.seed`; each client gets an independent stream.
 MultiClientTrace make_incremental(const IncrementalConfig& config);
 
+/// Phase-shifting traffic: the workload speculative prefetch feeds on — and
+/// residency affinity alone does not.
+///
+/// Each client walks a sliding WINDOW over the function bank: within a
+/// phase it cycles its window round-robin (so "after f comes g" is a
+/// perfect first-order Markov signal), and every `requests_per_phase`
+/// requests the window SLIDES by `phase_stride` functions.  The functions a
+/// phase introduces have never been routed anywhere — residency affinity
+/// has no card to prefer and eats a cold miss per new function — but a
+/// predictor that has learned the cycle knows the next function the moment
+/// the previous one completes, and a prefetch hides the load in the idle
+/// window.  Clients start at staggered offsets so their working sets
+/// overlap only partially, defeating the "one hot card holds everything"
+/// degenerate case.  `wander` adds uniform noise draws that break the
+/// cycle, dialing the predictor's attainable confidence down from 1.
+struct PhasedConfig {
+  unsigned clients = 4;
+  std::size_t phases = 4;              ///< phases per client
+  std::size_t requests_per_phase = 24; ///< requests before the window slides
+  std::vector<FunctionId> functions;   ///< bank the windows slide over
+  std::size_t working_set = 3;         ///< window size (functions per phase)
+  std::size_t phase_stride = 2;        ///< window slide between phases
+  std::uint64_t seed = 1;
+  std::size_t payload_blocks = 1;
+  /// Probability a request ignores the cycle and draws uniformly from the
+  /// whole bank instead (0 = pure cycle, perfectly predictable).
+  double wander = 0.0;
+  /// Mean of the exponential inter-arrival time per client (open loop).
+  sim::SimTime mean_interarrival = sim::SimTime::us(200);
+};
+
+/// Deterministic in `config.seed`; returns an open-loop MultiClientTrace.
+MultiClientTrace make_phased(const PhasedConfig& config);
+
 }  // namespace aad::workload

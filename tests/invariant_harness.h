@@ -76,6 +76,12 @@ struct HarnessConfig {
   sim::SimTime timeout;
   unsigned max_retries = 2;
 
+  // Speculative prefetch (core::PrefetchConfig).  Off by default so every
+  // pre-existing sweep is unchanged; the prefetch sweeps turn it on to
+  // prove speculative pins unwind like demand pins across deaths.
+  bool prefetch = false;
+  double prefetch_confidence = 0.35;
+
   // Workload (bursty open-loop traffic over the full kernel bank).
   unsigned clients = 6;
   std::size_t bursts = 3;
@@ -211,6 +217,8 @@ class InvariantHarness {
     fc.retry.timeout = config.timeout;
     fc.retry.max_retries = config.max_retries;
     fc.threads = config.threads;
+    fc.server.prefetch.enabled = config.prefetch;
+    fc.server.prefetch.predictor.min_confidence = config.prefetch_confidence;
     return fc;
   }
 

@@ -50,6 +50,11 @@ harness::HarnessConfig sweep_config(std::uint64_t seed, unsigned slot) {
   hc.device = (slot % 2) ? DevicePolicy::kResidentFirst : DevicePolicy::kFifo;
   hc.delta_reconfig = (slot % 2) == 1;
   hc.timeout = (slot % 3 == 0) ? sim::SimTime::us(800) : sim::SimTime::zero();
+  // Speculative prefetch rides along on a co-prime cadence (slots 2-3 of
+  // every 4) so the sweep crosses it with every other axis: the invariants
+  // must hold when a card dies mid-prefetch, and speculative pins must
+  // unwind exactly like demand pins.
+  hc.prefetch = (slot % 4) >= 2;
   // Compress the fault horizon into the traffic window so deaths land while
   // requests are actually in flight.
   hc.death_rate_per_ms = 0.3;
@@ -92,6 +97,50 @@ TEST(InvariantSweepTest, CleanAcrossSeedsAndPolicies) {
 
 TEST(InvariantSweepTest, SameSeedSameDigest) {
   const harness::HarnessConfig hc = sweep_config(424242, 3);
+  harness::InvariantHarness a(hc);
+  harness::InvariantHarness b(hc);
+  a.run();
+  b.run();
+  EXPECT_TRUE(a.check().empty());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+// Heavier prefetch pressure than the rotating sweep: every seed runs with
+// the predictor on at low confidence (many speculative loads) under the
+// same compressed death plans.  A card dying mid-prefetch must not break
+// conservation or leak the transient pins the pump holds during its
+// feasibility probe + load.
+TEST(InvariantSweepTest, CleanWithPrefetchUnderFaults) {
+  const unsigned seeds = harness::invariant_seed_count();
+  for (unsigned s = 0; s < seeds; ++s) {
+    harness::HarnessConfig hc = sweep_config(3000 + s, s);
+    hc.prefetch = true;
+    hc.prefetch_confidence = 0.3;
+    harness::InvariantHarness h(hc);
+    h.run();
+    for (const std::string& v : h.check())
+      ADD_FAILURE() << "prefetch seed " << hc.seed << ": " << v;
+    // Speculative ledger closes: every issued prefetch was consumed by a
+    // demand hit, stolen/wiped (wasted), or is still resident awaiting one
+    // (a subset of prefetch_outstanding, which also counts unissued
+    // candidates).
+    for (unsigned i = 0; i < h.fleet().card_count(); ++i) {
+      const ServerStats stats = h.fleet().server(i).stats();
+      EXPECT_GE(stats.prefetch_issued,
+                stats.prefetch_hits + stats.prefetch_wasted)
+          << "seed " << hc.seed << " card " << i;
+      EXPECT_LE(
+          stats.prefetch_issued - stats.prefetch_hits - stats.prefetch_wasted,
+          h.fleet().server(i).prefetch_outstanding())
+          << "seed " << hc.seed << " card " << i;
+    }
+  }
+}
+
+TEST(InvariantSweepTest, PrefetchSameSeedSameDigest) {
+  harness::HarnessConfig hc = sweep_config(424243, 2);
+  hc.prefetch = true;
+  hc.prefetch_confidence = 0.3;
   harness::InvariantHarness a(hc);
   harness::InvariantHarness b(hc);
   a.run();

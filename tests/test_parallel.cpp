@@ -215,6 +215,20 @@ const Slot kSlots[] = {
        hc.death_rate_per_ms = 0.0;
        hc.corruption_rate_per_ms = 0.25;
      }},
+    // Prefetch slots: speculative loads are planted from the dispatch path
+    // (coordination time) and pumped on idle cards, so the equivalence must
+    // survive the predictor being hot on every card — fault-free and under
+    // deaths.
+    {"affinity/fifo/none/prefetch/fault-free",
+     [](harness::HarnessConfig& hc) {
+       hc.prefetch = true;
+       hc.death_rate_per_ms = 0.0;
+     }},
+    {"affinity/fifo/greedy/prefetch/deaths",
+     [](harness::HarnessConfig& hc) {
+       hc.prefetch = true;
+       hc.batch.mode = core::BatchMode::kGreedy;
+     }},
 };
 
 harness::HarnessConfig slot_config(const Slot& slot, std::uint64_t seed,
