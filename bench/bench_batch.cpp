@@ -105,6 +105,9 @@ core::ServerStats run_server(const core::ServerConfig& sc,
   core::AgileCoprocessor card;
   card.download_all();
   core::CoprocessorServer server(card, sc);
+  if (auto* sink = bench::trace_sink())
+    server.attach_trace(*sink,
+                        std::string("batch ") + core::to_string(sc.batch.mode));
   workload::replay(server, trace, request_input);
   server.run();
   if (hit_rate) {
@@ -285,6 +288,9 @@ void fleet_composition() {
     fc.policy = core::DispatchPolicy::kResidencyAffinity;
     fc.server = batch_config(mode);
     core::CoprocessorFleet fleet(fc);
+    if (auto* sink = bench::trace_sink())
+      fleet.attach_trace(*sink,
+                         std::string("batch fleet ") + core::to_string(mode));
     fleet.download_all();
     workload::replay(fleet, trace, request_input);
     fleet.run();

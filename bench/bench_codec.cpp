@@ -152,6 +152,10 @@ CaseResult run_case(bool delta, compress::CodecId codec,
   core::ServerConfig sc;
   sc.device_policy = policy;
   core::CoprocessorServer server(card, sc);
+  if (auto* sink = bench::trace_sink())
+    server.attach_trace(*sink, std::string("codec case ") +
+                                   (delta ? "delta " : "full ") +
+                                   core::to_string(policy));
   workload::replay(server, trace, chain_input);
   server.run();
   return {server.stats(), card.mcu().stats()};
@@ -200,6 +204,9 @@ void codec_sweep() {
     core::AgileCoprocessor card;
     card.download_all(codec);
     core::CoprocessorServer server(card);
+    if (auto* sink = bench::trace_sink())
+      server.attach_trace(*sink,
+                          std::string("codec sweep ") + to_string(codec));
     workload::replay(server, trace, request_input);
     server.run();
     const auto stats = server.stats();
@@ -359,6 +366,9 @@ void fleet_cost_routing() {
     // and a delta upgrade on every advance, not just before warm-up.
     fc.card.fabric.geometry = geometry;
     core::CoprocessorFleet fleet(fc);
+    if (auto* sink = bench::trace_sink())
+      fleet.attach_trace(*sink, std::string("codec routing cost=") +
+                                    (cost ? "on" : "off"));
     for (unsigned g = 0; g < chains.size(); ++g)
       for (std::size_t v = 0; v < chains[g].size(); ++v)
         fleet.download_bitstream(chain_function(g, v), chains[g][v],

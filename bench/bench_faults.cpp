@@ -117,6 +117,9 @@ core::FleetStats run_fleet(const sim::FaultPlan& plan,
   fc.retry.timeout = sim::SimTime::ms(10);
   fc.retry.max_retries = 3;
   core::CoprocessorFleet fleet(fc);
+  if (auto* sink = bench::trace_sink())
+    fleet.attach_trace(*sink, std::string("faults cards=") +
+                                  std::to_string(fc.cards));
   fleet.download_all();
   workload::replay(fleet, trace, request_input);
   fleet.run();

@@ -60,6 +60,10 @@ core::FleetStats run_fleet(unsigned cards, core::DispatchPolicy policy,
   fc.server.prefetch.enabled = pf.enabled;
   fc.server.prefetch.predictor.min_confidence = pf.min_confidence;
   core::CoprocessorFleet fleet(fc);
+  if (auto* sink = bench::trace_sink())
+    fleet.attach_trace(*sink, std::string("fleet cards=") +
+                                  std::to_string(cards) + " " +
+                                  core::to_string(policy));
   fleet.download_all();
   workload::replay(fleet, trace, request_input);
   fleet.run();

@@ -62,6 +62,9 @@ core::ServerStats run_server(const core::ServerConfig& sc,
   core::AgileCoprocessor card;
   card.download_all();
   core::CoprocessorServer server(card, sc);
+  if (auto* sink = bench::trace_sink())
+    server.attach_trace(*sink, std::string("overlap ") +
+                                   core::to_string(sc.device_policy));
   workload::replay(server, trace, request_input);
   server.run();
   if (hit_rate) {

@@ -74,6 +74,10 @@ CellResult run_cell(unsigned cards, unsigned threads,
   fc.threads = threads;
   fc.policy = core::DispatchPolicy::kResidencyAffinity;
   core::CoprocessorFleet fleet(fc);
+  if (auto* sink = bench::trace_sink())
+    fleet.attach_trace(*sink, std::string("parallel cards=") +
+                                  std::to_string(cards) + " threads=" +
+                                  std::to_string(threads));
   fleet.download_all();
   workload::replay(fleet, trace, request_input);
 

@@ -137,6 +137,10 @@ core::FleetStats run_fleet(unsigned cards, bool prefetch, double confidence,
   fc.server.prefetch.predictor.min_confidence = confidence;
   fc.card.fabric.geometry.frame_count = frames;
   core::CoprocessorFleet fleet(fc);
+  if (auto* sink = bench::trace_sink())
+    fleet.attach_trace(*sink,
+                       std::string("prefetch cards=") + std::to_string(cards) +
+                           (prefetch ? " on" : " off"));
   fleet.download_all();
   workload::replay(fleet, trace, request_input);
   fleet.run();

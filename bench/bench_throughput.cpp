@@ -32,6 +32,8 @@ using bench::request_input;
 core::ServerStats serve_trace(const workload::MultiClientTrace& trace,
                               core::AgileCoprocessor& card) {
   core::CoprocessorServer server(card);
+  if (auto* sink = bench::trace_sink())
+    server.attach_trace(*sink, "throughput");
   workload::replay(server, trace, request_input);
   server.run();
   return server.stats();

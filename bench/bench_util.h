@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -21,6 +22,7 @@
 #include "algorithms/kernels.h"
 #include "common/error.h"
 #include "compress/codec.h"
+#include "telemetry/trace_sink.h"
 
 namespace aad::bench {
 
@@ -258,6 +260,24 @@ inline Flags& flags() {
   return instance;
 }
 
+/// The process-wide trace sink, or nullptr unless the bench was started
+/// with `--trace <path>`.  Benches that build fleets/servers attach it
+/// right after construction:
+///
+///   if (auto* sink = aad::bench::trace_sink())
+///     fleet.attach_trace(*sink, "F1 cards=4");
+///
+/// and the shared main() writes the merged Chrome trace to the given path
+/// after run_experiment() returns.  Without the flag this returns nullptr
+/// and no telemetry track is ever attached, so the hot paths stay on their
+/// zero-overhead branch and the gated baselines stay byte-identical.
+inline telemetry::TraceSink* trace_sink() {
+  static std::unique_ptr<telemetry::TraceSink> sink =
+      flags().has("trace") ? std::make_unique<telemetry::TraceSink>()
+                           : nullptr;
+  return sink.get();
+}
+
 /// Shared `--codec=<name|auto>` flag: the codec a bench downloads with.
 /// Returns nullopt when unset (each bench keeps its documented default);
 /// "auto" maps to compress::CodecId::kAuto, which makes the MCU
@@ -310,6 +330,7 @@ int main(int argc, char** argv) {
   if (argc < 0) return 2;
 
   const std::string json_path = aad::bench::flags().get("json", "");
+  const std::string trace_path = aad::bench::flags().get("trace", "");
   run_experiment();
   // Surface typo'd flags BEFORE writing the artifact: a bench that ran
   // under a default configuration because `--client` was misspelled must
@@ -325,6 +346,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write JSON results to %s\n",
                  json_path.c_str());
     return 1;
+  }
+  if (!trace_path.empty()) {
+    aad::telemetry::TraceSink* sink = aad::bench::trace_sink();
+    if (!sink->write_chrome_trace(trace_path.c_str())) {
+      std::fprintf(stderr, "failed to write Chrome trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n",
+                 sink->event_count(), trace_path.c_str());
   }
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

@@ -58,6 +58,17 @@ def is_number(value):
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def group_of(key):
+    """Metric-group prefix: the first two '_'-separated tokens.
+
+    The benches name metrics `<experiment>_<metric>_<cell>` (e.g.
+    fleet_hit_rate_cards4, prefetch_rps_bursty_on), so the first two tokens
+    identify the metric family the per-group summary lines report on.
+    """
+    parts = key.split("_")
+    return "_".join(parts[:2]) if len(parts) > 1 else key
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Diff a bench --json artifact against its baseline."
@@ -140,6 +151,20 @@ def main():
             "baselines') and quote the diff in the PR."
         )
         return 1
+    # One PASS line per metric group so a green CI log still shows what was
+    # actually covered (and how much of a group rode through on ignore).
+    groups = {}
+    for key in base:
+        compared, skipped = groups.setdefault(group_of(key), [0, 0])
+        if ignored(key):
+            groups[group_of(key)][1] = skipped + 1
+        else:
+            groups[group_of(key)][0] = compared + 1
+    width = max(len(g) for g in groups)
+    for group in sorted(groups):
+        compared, skipped = groups[group]
+        note = f", {skipped} ignored" if skipped else ""
+        print(f"check_bench: PASS {group:<{width}}  {compared} metric(s){note}")
     ignored_note = f" ({ignored_count} ignored)" if ignored_count else ""
     print(
         f"check_bench: OK — {checked} metric(s) within "

@@ -9,7 +9,7 @@ AgileCoprocessor::AgileCoprocessor(const CoprocessorConfig& config,
       scheduler_(shared != nullptr ? *shared : *owned_scheduler_),
       fabric_(config.fabric),
       bus_(config.pci),
-      mcu_(fabric_, scheduler_, trace_, runtime_, config.mcu) {
+      mcu_(fabric_, scheduler_, trace_, registry_, runtime_, config.mcu) {
   trace_.set_enabled(config.trace_enabled);
   algorithms::register_runtimes(runtime_);
 }

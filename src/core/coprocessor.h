@@ -27,6 +27,7 @@
 #include "pci/pci.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
+#include "telemetry/registry.h"
 
 namespace aad::core {
 
@@ -111,6 +112,10 @@ class AgileCoprocessor {
   sim::Scheduler& scheduler() noexcept { return scheduler_; }
   const sim::Trace& trace() const noexcept { return trace_; }
   sim::Trace& trace() noexcept { return trace_; }
+  /// This card's perf-counter registry: every `mcu.*` / `server.*` counter
+  /// the card's subsystems registered, enumerable via snapshot().
+  telemetry::Registry& registry() noexcept { return registry_; }
+  const telemetry::Registry& registry() const noexcept { return registry_; }
   const fabric::Fabric& fabric() const noexcept { return fabric_; }
   mcu::Mcu& mcu() noexcept { return mcu_; }
   const mcu::Mcu& mcu() const noexcept { return mcu_; }
@@ -124,6 +129,7 @@ class AgileCoprocessor {
   std::unique_ptr<sim::Scheduler> owned_scheduler_;  ///< null when shared
   sim::Scheduler& scheduler_;
   sim::Trace trace_;
+  telemetry::Registry registry_;  ///< before mcu_: subsystems register here
   fabric::Fabric fabric_;
   pci::PciBus bus_;
   mcu::RuntimeRegistry runtime_;

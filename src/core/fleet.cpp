@@ -38,7 +38,17 @@ CoprocessorFleet::CoprocessorFleet(const FleetConfig& config)
     : policy_(config.policy),
       cost_routing_(config.cost_routing),
       faults_(config.faults),
-      retry_(config.retry) {
+      retry_(config.retry),
+      counters_{registry_.counter("fleet.prefetch_routed"),
+                registry_.counter("fleet.affinity_routed"),
+                registry_.counter("fleet.delta_routed"),
+                registry_.counter("fleet.affinity_fallback"),
+                registry_.counter("fleet.prefetch_cross"),
+                registry_.counter("fleet.deaths"),
+                registry_.counter("fleet.redispatched"),
+                registry_.counter("fleet.retries"),
+                registry_.counter("fleet.timeouts"),
+                registry_.counter("fleet.failed")} {
   AAD_REQUIRE(config.cards >= 1, "a fleet needs at least one card");
   // Ticket tracking costs a map entry and a wrapped completion per request;
   // the fault-free configuration keeps the original zero-overhead path.
@@ -83,6 +93,16 @@ void CoprocessorFleet::download_bitstream(
 
 void CoprocessorFleet::download_all(std::optional<compress::CodecId> codec) {
   provision([&](Shard& shard) { shard.card->download_all(codec); });
+}
+
+void CoprocessorFleet::attach_trace(telemetry::TraceSink& sink,
+                                    const std::string& label) {
+  const std::uint32_t pid = sink.add_process(label);
+  fleet_track_ = sink.add_track(pid, "dispatch");
+  for (unsigned i = 0; i < card_count(); ++i)
+    shards_[i].server->attach_trace(sink,
+                                    label + "/card " + std::to_string(i),
+                                    static_cast<std::int64_t>(i));
 }
 
 std::uint64_t CoprocessorFleet::submit(unsigned client,
@@ -150,6 +170,9 @@ void CoprocessorFleet::dispatch(unsigned client, memory::FunctionId function,
   const unsigned index = route(function);
   Shard& shard = shards_[index];
   ++shard.dispatched;
+  if (fleet_track_ != nullptr)
+    fleet_track_->instant("dispatch", "dispatch", sim_now(), /*request=*/-1,
+                          client, function, index);
   // Parallel mode: the card fires completions on a worker thread, so the
   // submitter's hook is funneled back to the coordination queue as a
   // message (with a COPY of the record — the reference aims into the
@@ -212,6 +235,10 @@ void CoprocessorFleet::dispatch_ticket(std::uint64_t ticket) {
   const unsigned card = route(state.function);
   Shard& shard = shards_[card];
   ++shard.dispatched;
+  if (fleet_track_ != nullptr)
+    fleet_track_->instant("dispatch", "dispatch", sim_now(),
+                          static_cast<std::int64_t>(ticket), state.client,
+                          state.function, card);
   ++state.attempts;
   state.on_card = true;
   state.card = card;
@@ -274,14 +301,18 @@ void CoprocessorFleet::on_timeout(std::uint64_t ticket) {
     // only a card death can still unwind it.
     return;
   }
-  ++timeouts_;
+  counters_.timeouts.add();
+  if (fleet_track_ != nullptr)
+    fleet_track_->instant("fault", "timeout", sim_now(),
+                          static_cast<std::int64_t>(ticket), state.client,
+                          state.function, state.card);
   state.on_card = false;
   state.input = std::move(cancelled->input);
   if (state.attempts > retry_.max_retries) {
     fail_ticket(ticket, FailReason::kTimeout);
     return;
   }
-  ++retries_;
+  counters_.retries.add();
   ++undispatched_;
   const double scale =
       std::pow(retry_.backoff, static_cast<double>(state.attempts - 1));
@@ -297,7 +328,11 @@ void CoprocessorFleet::fail_ticket(std::uint64_t ticket, FailReason reason) {
   TicketState state = std::move(it->second);
   tickets_.erase(it);
   if (state.timeout_event) coord().cancel(*state.timeout_event);
-  ++failed_;
+  counters_.failed.add();
+  if (fleet_track_ != nullptr)
+    fleet_track_->instant("fault", "request-failed", sim_now(),
+                          static_cast<std::int64_t>(ticket), state.client,
+                          state.function);
   ServerRequest failed;
   failed.id = ticket;
   failed.client = state.client;
@@ -315,7 +350,11 @@ void CoprocessorFleet::kill_card(unsigned index) {
   if (!shard.alive) return;
   shard.alive = false;
   ++shard.deaths;
-  ++deaths_;
+  shard.death_time = sim_now();
+  counters_.deaths.add();
+  if (fleet_track_ != nullptr)
+    fleet_track_->instant("fault", "card-death", sim_now(), /*request=*/-1,
+                          /*client=*/-1, /*function=*/-1, index);
   std::vector<CoprocessorServer::CancelledRequest> refugees =
       shard.server->power_off();
   const bool survivors = any_alive();
@@ -334,7 +373,7 @@ void CoprocessorFleet::kill_card(unsigned index) {
       // Submitted directly through the exposed per-card server: the fleet
       // has no ticket (and no retry budget) for it — surface the failure
       // through its own hook.
-      ++failed_;
+      counters_.failed.add();
       ServerRequest failed;
       failed.id = refugee.id;
       failed.client = refugee.client;
@@ -356,7 +395,7 @@ void CoprocessorFleet::kill_card(unsigned index) {
     // refugee.done is the fleet's own wrapper from dispatch_ticket —
     // dropped here; redispatch installs a fresh one.
     if (survivors) {
-      ++redispatched_;
+      counters_.redispatched.add();
       ++undispatched_;
       coord().schedule_at(sim_now(),
                           [this, ticket] { dispatch_ticket(ticket); });
@@ -370,7 +409,11 @@ void CoprocessorFleet::revive_card(unsigned index) {
   AAD_REQUIRE(index < card_count(), "card index out of range");
   // power_off already erased the fabric; the card rejoins dispatch cold.
   // The ROM — host-programmed flash — survived the outage.
-  shards_[index].alive = true;
+  Shard& shard = shards_[index];
+  if (!shard.alive && fleet_track_ != nullptr)
+    fleet_track_->span("fault", "dead", shard.death_time, sim_now(),
+                       /*request=*/-1, /*client=*/-1, /*function=*/-1, index);
+  shard.alive = true;
 }
 
 unsigned CoprocessorFleet::least_queued() const {
@@ -520,13 +563,13 @@ unsigned CoprocessorFleet::route(memory::FunctionId function) {
     ++rr_cursor_;
   } else if (policy_ == DispatchPolicy::kResidencyAffinity) {
     if (prefetch_hit)
-      ++prefetch_routed_;
+      counters_.prefetch_routed.add();
     else if (affinity_hit)
-      ++affinity_routed_;
+      counters_.affinity_routed.add();
     else if (delta_hit)
-      ++delta_routed_;
+      counters_.delta_routed.add();
     else
-      ++affinity_fallback_;
+      counters_.affinity_fallback.add();
   }
   return card;
 }
@@ -579,7 +622,7 @@ void CoprocessorFleet::maybe_cross_prefetch(unsigned client,
       }
     }
     if (found) {
-      ++prefetch_cross_;
+      counters_.prefetch_cross.add();
       target = best;
     } else if (!shards_[chosen].alive) {
       return;
@@ -625,16 +668,17 @@ std::uint64_t CoprocessorFleet::in_flight() const {
 
 FleetStats CoprocessorFleet::stats() const {
   FleetStats stats;
-  stats.prefetch_routed = prefetch_routed_;
-  stats.affinity_routed = affinity_routed_;
-  stats.delta_routed = delta_routed_;
-  stats.affinity_fallback = affinity_fallback_;
-  stats.prefetch_cross = prefetch_cross_;
-  stats.deaths = deaths_;
-  stats.redispatched = redispatched_;
-  stats.retries = retries_;
-  stats.timeouts = timeouts_;
-  stats.failed = failed_;  // card-level failures are added per shard below
+  stats.prefetch_routed = counters_.prefetch_routed.value();
+  stats.affinity_routed = counters_.affinity_routed.value();
+  stats.delta_routed = counters_.delta_routed.value();
+  stats.affinity_fallback = counters_.affinity_fallback.value();
+  stats.prefetch_cross = counters_.prefetch_cross.value();
+  stats.deaths = counters_.deaths.value();
+  stats.redispatched = counters_.redispatched.value();
+  stats.retries = counters_.retries.value();
+  stats.timeouts = counters_.timeouts.value();
+  // Card-level failures are added per shard below.
+  stats.failed = counters_.failed.value();
   stats.cards.reserve(shards_.size());
 
   bool any = false;

@@ -318,6 +318,19 @@ class CoprocessorFleet {
   /// Fleet-wide totals plus the per-card breakdown.
   FleetStats stats() const;
 
+  // --- telemetry -----------------------------------------------------------
+
+  /// Open Chrome-trace lanes for the whole fleet: one `label` process with
+  /// a dispatch/fault lane, plus one process per card ("<label>/card i")
+  /// with its pci/engine/fabric/batch lanes (CoprocessorServer::
+  /// attach_trace).  Call before running; the sink must outlive the fleet.
+  void attach_trace(telemetry::TraceSink& sink,
+                    const std::string& label = "fleet");
+  /// The fleet's own counter registry (routing tiers, faults, retries);
+  /// each card's registry is at card(i).registry().
+  telemetry::Registry& registry() noexcept { return registry_; }
+  const telemetry::Registry& registry() const noexcept { return registry_; }
+
   // --- fault injection + recovery ------------------------------------------
   // FleetConfig::faults drives these through scheduled events; they are
   // public so tests and harnesses can inject faults imperatively too.
@@ -344,6 +357,7 @@ class CoprocessorFleet {
     std::uint64_t dispatched = 0;
     bool alive = true;
     std::uint64_t deaths = 0;
+    sim::SimTime death_time;  ///< last power-off (the dead-interval span)
   };
   /// Fleet-edge bookkeeping for one in-flight ticket (fault mode only).
   /// The payload lives HERE only while the ticket is between cards (pulled
@@ -425,16 +439,11 @@ class CoprocessorFleet {
   std::uint64_t next_ticket_ = 0;
   std::uint64_t undispatched_ = 0;  ///< scheduled arrivals not yet routed
   std::uint64_t rr_cursor_ = 0;
-  std::uint64_t affinity_routed_ = 0;
-  std::uint64_t delta_routed_ = 0;
-  std::uint64_t affinity_fallback_ = 0;
   // Speculative prefetch at the fleet edge.  The fleet keeps its OWN
   // predictor trained on the arrival stream it routes (the per-card
   // predictors only see requests after routing splits the stream).
   bool prefetch_enabled_ = false;
   FunctionPredictor predictor_;
-  std::uint64_t prefetch_routed_ = 0;
-  std::uint64_t prefetch_cross_ = 0;
   // Fault machinery.  fault_mode_ gates the ticket-tracking dispatch path:
   // off (empty plan, zero timeout), submissions flow exactly as before —
   // the fault subsystem costs the fault-free build nothing.
@@ -443,11 +452,28 @@ class CoprocessorFleet {
   sim::FaultPlan faults_;
   RetryConfig retry_;
   std::map<std::uint64_t, TicketState> tickets_;
-  std::uint64_t deaths_ = 0;
-  std::uint64_t redispatched_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t timeouts_ = 0;
-  std::uint64_t failed_ = 0;  ///< fleet-level terminal failures
+
+  /// Fleet-level counter registry (the cards each own their own — see
+  /// AgileCoprocessor::registry()).  Coordination-thread-owned, like every
+  /// other fleet member.
+  telemetry::Registry registry_;
+  // Registry handles — the `fleet.*` counter block; FleetStats snapshots
+  // them (registered at construction, bumped on the dispatch/fault paths).
+  struct Counters {
+    telemetry::Counter& prefetch_routed;
+    telemetry::Counter& affinity_routed;
+    telemetry::Counter& delta_routed;
+    telemetry::Counter& affinity_fallback;
+    telemetry::Counter& prefetch_cross;
+    telemetry::Counter& deaths;
+    telemetry::Counter& redispatched;
+    telemetry::Counter& retries;
+    telemetry::Counter& timeouts;
+    telemetry::Counter& failed;  ///< fleet-level terminal failures
+  };
+  Counters counters_;
+  /// The fleet's dispatch/fault lane; null until attach_trace.
+  telemetry::TraceTrack* fleet_track_ = nullptr;
 };
 
 }  // namespace aad::core

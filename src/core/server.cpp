@@ -60,7 +60,27 @@ CoprocessorServer::CoprocessorServer(AgileCoprocessor& card,
       config_(config),
       device_scheduler_(make_device_scheduler(config.device_policy)),
       batch_policy_(make_batch_policy(config.batch)),
+      counters_{card.registry().counter("server.submitted"),
+                card.registry().counter("server.cancelled"),
+                card.registry().counter("server.batches"),
+                card.registry().counter("server.coalesced_loads"),
+                card.registry().counter("server.amortized_reconfig_ps"),
+                card.registry().counter("server.prefetch_issued"),
+                card.registry().counter("server.prefetch_hits"),
+                card.registry().counter("server.prefetch_wasted"),
+                card.registry().counter("server.prefetch_hidden_ps"),
+                card.registry().gauge("server.device_queue_depth")},
       predictor_(config.prefetch.predictor) {}
+
+void CoprocessorServer::attach_trace(telemetry::TraceSink& sink,
+                                     const std::string& label,
+                                     std::int64_t card) {
+  const std::uint32_t pid = sink.add_process(label);
+  pci_track_ = sink.add_track(pid, "pci", card);
+  engine_track_ = sink.add_track(pid, "engine", card);
+  fabric_track_ = sink.add_track(pid, "fabric", card);
+  batch_track_ = sink.add_track(pid, "batch", card);
+}
 
 CoprocessorServer::Pending& CoprocessorServer::pending(std::uint64_t id) {
   const auto it = queue_.find(id);
@@ -99,7 +119,7 @@ std::uint64_t CoprocessorServer::submit_function_at(sim::SimTime when,
   Pending& entry = queue_.emplace(id, std::move(p)).first->second;
   ++inbound_[function];
   ++in_flight_;
-  ++submitted_;
+  counters_.submitted.add();
   entry.chain_event = schedule(when, [this, id] { begin_pci_in(id); });
   return id;
 }
@@ -128,6 +148,8 @@ std::optional<CoprocessorServer::CancelledRequest> CoprocessorServer::try_cancel
   const auto queued = std::find(device_queue_.begin(), device_queue_.end(), id);
   if (queued != device_queue_.end()) {
     device_queue_.erase(queued);
+    counters_.queue_depth.set(
+        static_cast<std::int64_t>(device_queue_.size()));
   } else {
     // Still riding its submit -> pci-in -> device_ready chain.
     AAD_CHECK(p.chain_event.has_value(),
@@ -158,7 +180,7 @@ std::optional<CoprocessorServer::CancelledRequest> CoprocessorServer::try_cancel
   out.submit_time = p.request.submit_time;
   queue_.erase(it);
   --in_flight_;
-  ++cancelled_;
+  counters_.cancelled.add();
   return out;
 }
 
@@ -181,16 +203,17 @@ CoprocessorServer::power_off() {
     r.submit_time = p.request.submit_time;
     refugees.push_back(std::move(r));
   }
-  cancelled_ += queue_.size();
+  counters_.cancelled.add(queue_.size());
   queue_.clear();
   device_queue_.clear();
+  counters_.queue_depth.set(0);
   inbound_.clear();
   hold_anchors_.clear();
   executing_.clear();
   pump_wake_.reset();
   // Issued-but-unconsumed prefetches die with the fabric: wasted, like a
   // steal.  The predictor itself is host-driver state and survives.
-  prefetch_wasted_ += prefetched_.size();
+  counters_.prefetch_wasted.add(prefetched_.size());
   prefetched_.clear();
   prefetch_queue_.clear();
   prefetch_wake_.reset();
@@ -215,6 +238,9 @@ void CoprocessorServer::begin_pci_in(std::uint64_t id) {
   p.request.bus_wait += grant.queue_delay;
   card_.trace().record(sim::Stage::kHostPci, "server/in", grant.start,
                        grant.end);
+  if (pci_track_ != nullptr)
+    pci_track_->span("pci", "pci-in", grant.start, grant.end, id,
+                     p.request.client, p.request.function);
   p.chain_event = schedule(grant.end, [this, id] { device_ready(id); });
 }
 
@@ -223,6 +249,7 @@ void CoprocessorServer::device_ready(std::uint64_t id) {
   p.chain_event.reset();  // from here the device queue carries the request
   p.request.device_ready = now();
   device_queue_.push_back(id);
+  counters_.queue_depth.set(static_cast<std::int64_t>(device_queue_.size()));
   pump_device();
 }
 
@@ -374,8 +401,15 @@ void CoprocessorServer::pump_device() {
     schedule_pump(fabric_free_);
     return;
   }
-  hold_anchors_.erase(function);
+  if (const auto anchor = hold_anchors_.find(function);
+      anchor != hold_anchors_.end()) {
+    if (batch_track_ != nullptr && anchor->second < now())
+      batch_track_->span("batch", "batch-hold", anchor->second, now(),
+                         /*request=*/-1, /*client=*/-1, function);
+    hold_anchors_.erase(anchor);
+  }
   for (const std::uint64_t member : batch) std::erase(device_queue_, member);
+  counters_.queue_depth.set(static_cast<std::int64_t>(device_queue_.size()));
   pump_device();  // the commit advanced engine_free_; wake up then
 }
 
@@ -474,6 +508,14 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
 
   p.request.prepare_time = p.request.decode_time + load_elapsed;
   const sim::SimTime engine_end = engine_start + p.request.prepare_time;
+  if (engine_track_ != nullptr) {
+    engine_track_->span("engine", "decode", engine_start, load_start,
+                        p.request.id, p.request.client, p.request.function);
+    if (load_elapsed > sim::SimTime::zero())
+      engine_track_->span("engine", "load", load_start,
+                          load_start + load_elapsed, p.request.id,
+                          p.request.client, p.request.function);
+  }
 
   // The overlap win: load time that ran while another request's fabric
   // execution was still in flight.
@@ -497,6 +539,9 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
 
   engine_free_ = engine_end;
   fabric_free_ = fabric_start + run.time;
+  if (fabric_track_ != nullptr)
+    fabric_track_->span("fabric", "execute", fabric_start, fabric_free_,
+                        p.request.id, p.request.client, p.request.function);
   executing_.push_back({fabric_free_, p.request.function});
   {
     const std::uint64_t leader_id = batch.front();
@@ -505,7 +550,8 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
 
   // The coalesced members: no engine occupancy at all — they ride the
   // leader's decode + load and run back-to-back fabric windows behind it.
-  const std::uint64_t batch_id = next_batch_id_++;
+  const std::uint64_t batch_id = counters_.batches.value();
+  counters_.batches.add();
   const memory::FunctionId function = p.request.function;
   const sim::SimTime leader_prepare = p.request.prepare_time;
   p.request.batch_id = batch_id;
@@ -542,11 +588,14 @@ bool CoprocessorServer::serve_batch(const std::vector<std::uint64_t>& batch) {
     q.committed = true;
 
     fabric_free_ = member_start + member_run.time;
+    if (fabric_track_ != nullptr)
+      fabric_track_->span("fabric", "execute", member_start, fabric_free_,
+                          q.request.id, q.request.client, function);
     executing_.push_back({fabric_free_, function});
     schedule(fabric_free_, [this, member_id] { begin_pci_out(member_id); });
 
-    ++coalesced_loads_;
-    amortized_reconfig_ += leader_prepare;
+    counters_.coalesced_loads.add();
+    counters_.amortized_reconfig.add_time(leader_prepare);
   }
 
   // A real batch keeps one pin reference on its function until the last
@@ -570,6 +619,9 @@ void CoprocessorServer::fail_batch(const std::vector<std::uint64_t>& batch,
     if (--inbound->second == 0) inbound_.erase(inbound);
     q.request.failed = true;
     q.request.fail_reason = reason;
+    if (engine_track_ != nullptr)
+      engine_track_->instant("fault", "batch-failed", now(), q.request.id,
+                             q.request.client, q.request.function);
     complete(member);
   }
 }
@@ -585,6 +637,9 @@ void CoprocessorServer::begin_pci_out(std::uint64_t id) {
   p.request.bus_wait += grant.queue_delay;
   card_.trace().record(sim::Stage::kHostPci, "server/out", grant.start,
                        grant.end);
+  if (pci_track_ != nullptr)
+    pci_track_->span("pci", "pci-out", grant.start, grant.end, id,
+                     p.request.client, p.request.function);
   schedule(grant.end, [this, id] { complete(id); });
 }
 
@@ -693,7 +748,10 @@ void CoprocessorServer::pump_prefetch() {
     }
     mcu.mark_speculative(function);
     prefetched_.emplace(function, elapsed);
-    ++prefetch_issued_;
+    counters_.prefetch_issued.add();
+    if (engine_track_ != nullptr)
+      engine_track_->span("prefetch", "prefetch-load", start, start + elapsed,
+                          /*request=*/-1, /*client=*/-1, function);
     engine_free_ = start + elapsed;
     break;  // one speculative load per idle window
   }
@@ -707,12 +765,12 @@ void CoprocessorServer::settle_prefetch(memory::FunctionId function,
   if (load_hit) {
     // The demand found the speculative resident in place: the engine time
     // the prefetch paid is latency this requester never saw.
-    ++prefetch_hits_;
-    hidden_prefetch_ += it->second;
+    counters_.prefetch_hits.add();
+    counters_.hidden_prefetch.add_time(it->second);
     card_.mcu().clear_speculative(function);
   } else {
     // Stolen before any demand arrived; the demand paid the full load.
-    ++prefetch_wasted_;
+    counters_.prefetch_wasted.add();
   }
   prefetched_.erase(it);
 }
@@ -725,22 +783,23 @@ std::size_t CoprocessorServer::run_until(sim::SimTime deadline) {
 
 ServerStats CoprocessorServer::stats() const {
   ServerStats stats;
-  stats.submitted = submitted_;
-  stats.cancelled = cancelled_;
-  stats.batches = next_batch_id_;
-  stats.coalesced_loads = coalesced_loads_;
-  stats.total_amortized_reconfig = amortized_reconfig_;
-  stats.mean_batch_size = mean_batch_size(next_batch_id_, coalesced_loads_);
-  const mcu::McuStats& device = card_.mcu().stats();
+  stats.submitted = counters_.submitted.value();
+  stats.cancelled = counters_.cancelled.value();
+  stats.batches = counters_.batches.value();
+  stats.coalesced_loads = counters_.coalesced_loads.value();
+  stats.total_amortized_reconfig = counters_.amortized_reconfig.time();
+  stats.mean_batch_size =
+      mean_batch_size(stats.batches, stats.coalesced_loads);
+  const mcu::McuStats device = card_.mcu().stats();
   stats.frames_skipped_delta = device.frames_skipped_delta;
   stats.bytes_streamed = device.compressed_bytes_streamed;
   stats.codec_picks = device.codec_picks;
   stats.crc_rejects = device.crc_rejects;
   stats.refetches = device.refetches;
-  stats.prefetch_issued = prefetch_issued_;
-  stats.prefetch_hits = prefetch_hits_;
-  stats.prefetch_wasted = prefetch_wasted_;
-  stats.hidden_reconfig_prefetch = hidden_prefetch_;
+  stats.prefetch_issued = counters_.prefetch_issued.value();
+  stats.prefetch_hits = counters_.prefetch_hits.value();
+  stats.prefetch_wasted = counters_.prefetch_wasted.value();
+  stats.hidden_reconfig_prefetch = counters_.hidden_prefetch.time();
 
   // Latency/throughput/wait statistics cover SUCCESSFUL requests only;
   // failed records are done (their hooks fired) but have no meaningful

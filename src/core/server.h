@@ -70,6 +70,8 @@
 #include "core/coprocessor.h"
 #include "core/device_scheduler.h"
 #include "core/predictor.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace_sink.h"
 
 namespace aad::core {
 
@@ -330,6 +332,15 @@ class CoprocessorServer {
   ServerStats stats() const;
   AgileCoprocessor& card() noexcept { return card_; }
 
+  // --- telemetry -----------------------------------------------------------
+
+  /// Open this card's span lanes (pci / engine / fabric / batch) as one
+  /// trace process named `label`; `card` (when >= 0) stamps every span's
+  /// card arg.  Call before running; the sink must outlive the server.
+  /// Without a sink every record site is a single null-pointer branch.
+  void attach_trace(telemetry::TraceSink& sink, const std::string& label,
+                    std::int64_t card = -1);
+
   // --- fault injection + recovery ------------------------------------------
 
   /// Everything the dispatcher needs to retry a pulled-back request
@@ -446,15 +457,34 @@ class CoprocessorServer {
   /// arrival would join.
   std::map<memory::FunctionId, sim::SimTime> hold_anchors_;
   std::vector<ServerRequest> completed_;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t cancelled_ = 0;
   /// Ids of every event this server has scheduled and not yet seen fire —
   /// the ledger power_off cancels.
   std::set<sim::EventId> scheduled_;
-  // Commit-time batch accounting (see ServerStats).
-  std::uint64_t next_batch_id_ = 0;
-  std::uint64_t coalesced_loads_ = 0;
-  sim::SimTime amortized_reconfig_;
+
+  // Registry handles — the `server.*` counter block on the card's
+  // telemetry::Registry, registered at construction; ServerStats is a
+  // snapshot view over them (plus the request records).
+  struct Counters {
+    telemetry::Counter& submitted;
+    telemetry::Counter& cancelled;
+    /// Committed device batches; doubles as the dense batch-id allocator
+    /// (a batch's id is the counter's value at commit).
+    telemetry::Counter& batches;
+    telemetry::Counter& coalesced_loads;
+    telemetry::Counter& amortized_reconfig;  ///< picoseconds
+    telemetry::Counter& prefetch_issued;
+    telemetry::Counter& prefetch_hits;
+    telemetry::Counter& prefetch_wasted;
+    telemetry::Counter& hidden_prefetch;     ///< picoseconds
+    telemetry::Gauge& queue_depth;  ///< device queue level + high water
+  };
+  Counters counters_;
+
+  // Chrome-trace lanes (telemetry/trace_sink.h); null until attach_trace.
+  telemetry::TraceTrack* pci_track_ = nullptr;
+  telemetry::TraceTrack* engine_track_ = nullptr;
+  telemetry::TraceTrack* fabric_track_ = nullptr;
+  telemetry::TraceTrack* batch_track_ = nullptr;
   // Speculative prefetch (PrefetchConfig; all dormant when disabled).
   /// Per-client next-function Markov table, trained in complete().  Host
   /// driver state: it survives card death (power_off), like the ROM map.
@@ -465,10 +495,6 @@ class CoprocessorServer {
   /// engine occupancy each one paid (the latency a demand hit hides).
   std::map<memory::FunctionId, sim::SimTime> prefetched_;
   std::optional<sim::SimTime> prefetch_wake_;  ///< pending pump wake-up
-  std::uint64_t prefetch_issued_ = 0;
-  std::uint64_t prefetch_hits_ = 0;
-  std::uint64_t prefetch_wasted_ = 0;
-  sim::SimTime hidden_prefetch_;
 };
 
 }  // namespace aad::core

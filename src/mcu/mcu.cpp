@@ -14,7 +14,8 @@ constexpr double kAutoCodecSlack = 0.05;
 }  // namespace
 
 Mcu::Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
-         const RuntimeRegistry& runtime, const McuConfig& config)
+         telemetry::Registry& registry, const RuntimeRegistry& runtime,
+         const McuConfig& config)
     : fabric_(fabric),
       scheduler_(scheduler),
       trace_(trace),
@@ -24,7 +25,37 @@ Mcu::Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
       ram_(config.ram_capacity),
       engine_(config.engine),
       free_list_(fabric.geometry().frame_count),
-      policy_(make_policy(config.policy, config.policy_seed)) {}
+      policy_(make_policy(config.policy, config.policy_seed)),
+      counters_{registry.counter("mcu.invocations"),
+                registry.counter("mcu.config_hits"),
+                registry.counter("mcu.config_misses"),
+                registry.counter("mcu.evictions"),
+                registry.counter("mcu.frames_configured"),
+                registry.counter("mcu.frames_skipped"),
+                registry.counter("mcu.frames_skipped_delta"),
+                registry.counter("mcu.allocation_retries"),
+                registry.counter("mcu.defragmentations"),
+                registry.counter("mcu.compressed_bytes_streamed"),
+                registry.counter("mcu.crc_rejects"),
+                registry.counter("mcu.refetches")} {}
+
+McuStats Mcu::stats() const {
+  McuStats s;
+  s.invocations = counters_.invocations.value();
+  s.config_hits = counters_.config_hits.value();
+  s.config_misses = counters_.config_misses.value();
+  s.evictions = counters_.evictions.value();
+  s.frames_configured = counters_.frames_configured.value();
+  s.frames_skipped = counters_.frames_skipped.value();
+  s.frames_skipped_delta = counters_.frames_skipped_delta.value();
+  s.allocation_retries = counters_.allocation_retries.value();
+  s.defragmentations = counters_.defragmentations.value();
+  s.compressed_bytes_streamed = counters_.bytes_streamed.value();
+  s.crc_rejects = counters_.crc_rejects.value();
+  s.refetches = counters_.refetches.value();
+  s.codec_picks = codec_picks_;
+  return s;
+}
 
 sim::SimTime Mcu::firmware_cost(unsigned cycles, sim::SimTime start) {
   const sim::SimTime t = config_.mcu_clock.cycles(cycles);
@@ -82,7 +113,7 @@ memory::RomRecord Mcu::store_function(memory::FunctionId id,
     compressed =
         compress::make_codec(chosen, geometry.frame_bytes())->compress(raw);
   }
-  ++stats_.codec_picks[chosen];
+  ++codec_picks_[chosen];
 
   // Per-window fingerprints: the driver metadata delta reconfiguration and
   // the load-cost estimator match against the engine's frame table.
@@ -213,7 +244,7 @@ sim::SimTime Mcu::evict_cost(memory::FunctionId id, sim::SimTime start) {
   table_.erase(id);
   loaded_.erase(it);
   speculative_.erase(id);
-  ++stats_.evictions;
+  counters_.evictions.add();
   return firmware_cost(config_.eviction_overhead_cycles, start);
 }
 
@@ -235,7 +266,7 @@ DefragResult Mcu::defragment_at(sim::SimTime start) {
   AAD_REQUIRE(pinned_.empty(), "cannot defragment while functions are pinned");
   DefragResult result;
   sim::SimTime t = start;
-  ++stats_.defragmentations;
+  counters_.defragmentations.add();
 
   // Pack resident functions toward frame 0, in ascending order of their
   // current lowest frame, relocating each by re-streaming it from ROM.
@@ -263,10 +294,10 @@ DefragResult Mcu::defragment_at(sim::SimTime start) {
         engine_.configure(rom_, fn.record, target, fabric_, config_.rom_timing,
                           &trace_, t, raw_crc_of(id));
     t += cfg.total;
-    stats_.frames_configured += cfg.frames_written;
-    stats_.frames_skipped += cfg.frames_skipped;
-    stats_.frames_skipped_delta += cfg.frames_skipped_delta;
-    stats_.compressed_bytes_streamed += cfg.bytes_streamed;
+    counters_.frames_configured.add(cfg.frames_written);
+    counters_.frames_skipped.add(cfg.frames_skipped);
+    counters_.frames_skipped_delta.add(cfg.frames_skipped_delta);
+    counters_.bytes_streamed.add(cfg.bytes_streamed);
 
     fn.frames = target;
     fn.network.reset();
@@ -419,7 +450,7 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
     entry.last_access = t;
     ++entry.access_count;
     policy_->on_access(id, t);
-    ++stats_.config_hits;
+    counters_.config_hits.add();
     return result;
   }
 
@@ -429,7 +460,7 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
              "function " + std::to_string(id) + " not provisioned in ROM");
   AAD_REQUIRE(record->frames <= fabric_.geometry().frame_count,
               "function larger than the device");
-  ++stats_.config_misses;
+  counters_.config_misses.add();
 
   // Delta reconfiguration: prefer an in-place upgrade when a resident
   // same-footprint sibling already holds most of this function's frames —
@@ -451,7 +482,7 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
   while (!frames) {
     frames = free_list_.allocate(record->frames, config_.allocation);
     if (frames) break;
-    ++stats_.allocation_retries;
+    counters_.allocation_retries.add();
     // Under pure external fragmentation, one compaction pass can satisfy a
     // contiguous request without evicting anyone.  (Not while anything is
     // pinned: compaction would relocate an executing function's frames.)
@@ -509,7 +540,7 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
         free_list_.release(*frames);
         throw;
       }
-      ++stats_.crc_rejects;
+      counters_.crc_rejects.add();
       const auto pristine = pristine_.find(id);
       if (!config_.refetch_on_crc_reject || attempt >= 1 ||
           pristine == pristine_.end()) {
@@ -517,7 +548,7 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
         throw;
       }
       rom_.rewrite_payload(id, pristine->second);
-      ++stats_.refetches;
+      counters_.refetches.add();
       const sim::SimTime d =
           config_.rom_timing.write_time(pristine->second.size());
       trace_.record(sim::Stage::kRom, record->name + "/refetch", t, t + d);
@@ -525,10 +556,10 @@ LoadResult Mcu::load_at(memory::FunctionId id, sim::SimTime start,
     }
   }
   t += cfg.total;
-  stats_.frames_configured += cfg.frames_written;
-  stats_.frames_skipped += cfg.frames_skipped;
-  stats_.frames_skipped_delta += cfg.frames_skipped_delta;
-  stats_.compressed_bytes_streamed += cfg.bytes_streamed;
+  counters_.frames_configured.add(cfg.frames_written);
+  counters_.frames_skipped.add(cfg.frames_skipped);
+  counters_.frames_skipped_delta.add(cfg.frames_skipped_delta);
+  counters_.bytes_streamed.add(cfg.bytes_streamed);
 
   LoadedFunction fn;
   fn.record = *record;
@@ -563,7 +594,7 @@ netlist::LutExecutor& Mcu::executor_for(LoadedFunction& fn) {
 }
 
 sim::SimTime Mcu::decode_invoke(sim::SimTime start) {
-  ++stats_.invocations;
+  counters_.invocations.add();
   return firmware_cost(config_.command_overhead_cycles, start);
 }
 

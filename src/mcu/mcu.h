@@ -29,6 +29,7 @@
 #include "memory/rom.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
+#include "telemetry/registry.h"
 
 namespace aad::mcu {
 
@@ -90,6 +91,9 @@ struct ExecutedInvoke {
   sim::SimTime time;     ///< io + exec total
 };
 
+/// Snapshot of the device's `mcu.*` registry counters (see
+/// telemetry/registry.h — the counters themselves live on the card's
+/// telemetry::Registry; this struct is the conventional typed view).
 struct McuStats {
   std::uint64_t invocations = 0;
   std::uint64_t config_hits = 0;
@@ -138,8 +142,12 @@ struct DefragResult {
 
 class Mcu {
  public:
+  /// `registry` is the card's counter registry; the MCU registers its
+  /// `mcu.*` counters there at construction and bumps the handles on the
+  /// hot path.  Must outlive the Mcu.
   Mcu(fabric::Fabric& fabric, sim::Scheduler& scheduler, sim::Trace& trace,
-      const RuntimeRegistry& runtime, const McuConfig& config = {});
+      telemetry::Registry& registry, const RuntimeRegistry& runtime,
+      const McuConfig& config = {});
 
   // --- provisioning (host -> ROM, via PCI at the core layer) --------------
 
@@ -307,7 +315,8 @@ class Mcu {
   /// its delta frame-hash tracker against the fabric's actual contents.
   const ConfigEngine& engine() const noexcept { return engine_; }
   const memory::LocalRam& ram() const noexcept { return ram_; }
-  const McuStats& stats() const noexcept { return stats_; }
+  /// Snapshot of this device's `mcu.*` registry counters.
+  McuStats stats() const;
   ReplacementPolicy& policy() noexcept { return *policy_; }
   const McuConfig& config() const noexcept { return config_; }
 
@@ -383,7 +392,26 @@ class Mcu {
     const auto it = raw_crcs_.find(id);
     return it != raw_crcs_.end() ? it->second : 0;
   }
-  McuStats stats_;
+
+  // Registry handles — the `mcu.*` counter block, registered once at
+  // construction; stats() snapshots them back into McuStats.
+  struct Counters {
+    telemetry::Counter& invocations;
+    telemetry::Counter& config_hits;
+    telemetry::Counter& config_misses;
+    telemetry::Counter& evictions;
+    telemetry::Counter& frames_configured;
+    telemetry::Counter& frames_skipped;
+    telemetry::Counter& frames_skipped_delta;
+    telemetry::Counter& allocation_retries;
+    telemetry::Counter& defragmentations;
+    telemetry::Counter& bytes_streamed;
+    telemetry::Counter& crc_rejects;
+    telemetry::Counter& refetches;
+  };
+  Counters counters_;
+  /// Codec picks keep their map shape (keyed by enum, not a flat name).
+  std::map<compress::CodecId, std::uint64_t> codec_picks_;
 };
 
 }  // namespace aad::mcu

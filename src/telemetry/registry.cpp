@@ -1,0 +1,66 @@
+#include "telemetry/registry.h"
+
+#include "common/error.h"
+
+namespace aad::telemetry {
+
+Counter& Registry::counter(std::string_view name) {
+  for (const auto& entry : counters_)
+    if (entry.name == name) return *entry.metric;
+  AAD_REQUIRE(find_gauge(name) == nullptr,
+              "metric already registered as a gauge");
+  counters_.push_back({std::string(name), std::make_unique<Counter>()});
+  return *counters_.back().metric;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  for (const auto& entry : gauges_)
+    if (entry.name == name) return *entry.metric;
+  AAD_REQUIRE(find_counter(name) == nullptr,
+              "metric already registered as a counter");
+  gauges_.push_back({std::string(name), std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const noexcept {
+  for (const auto& entry : counters_)
+    if (entry.name == name) return entry.metric.get();
+  return nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const noexcept {
+  for (const auto& entry : gauges_)
+    if (entry.name == name) return entry.metric.get();
+  return nullptr;
+}
+
+std::vector<MetricSample> Registry::snapshot() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(size());
+  for (const auto& entry : counters_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.kind = MetricKind::kCounter;
+    s.value = entry.metric->value();
+    samples.push_back(std::move(s));
+  }
+  for (const auto& entry : gauges_) {
+    MetricSample s;
+    s.name = entry.name;
+    s.kind = MetricKind::kGauge;
+    s.value = static_cast<std::uint64_t>(entry.metric->value());
+    s.high_water = entry.metric->high_water();
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+void Registry::reset() noexcept {
+  for (const auto& entry : counters_) entry.metric->value_ = 0;
+  for (const auto& entry : gauges_) {
+    entry.metric->value_ = 0;
+    entry.metric->high_water_ = 0;
+  }
+}
+
+}  // namespace aad::telemetry

@@ -21,7 +21,8 @@ using algorithms::KernelId;
 class McuFixture : public ::testing::Test {
  protected:
   McuFixture()
-      : mcu_(fabric_, scheduler_, trace_, runtime_, make_config()) {
+      : mcu_(fabric_, scheduler_, trace_, registry_, runtime_,
+             make_config()) {
     algorithms::register_runtimes(runtime_);
   }
 
@@ -40,6 +41,7 @@ class McuFixture : public ::testing::Test {
   fabric::Fabric fabric_;
   sim::Scheduler scheduler_;
   sim::Trace trace_;
+  telemetry::Registry registry_;
   RuntimeRegistry runtime_;
   Mcu mcu_;
 };
@@ -257,7 +259,8 @@ TEST_F(McuFixture, OversizedFunctionRejected) {
 
 class DiffMcuFixture : public ::testing::Test {
  protected:
-  DiffMcuFixture() : mcu_(fabric_, scheduler_, trace_, runtime_, config()) {
+  DiffMcuFixture()
+      : mcu_(fabric_, scheduler_, trace_, registry_, runtime_, config()) {
     algorithms::register_runtimes(runtime_);
   }
   static McuConfig config() {
@@ -268,6 +271,7 @@ class DiffMcuFixture : public ::testing::Test {
   fabric::Fabric fabric_;
   sim::Scheduler scheduler_;
   sim::Trace trace_;
+  telemetry::Registry registry_;
   RuntimeRegistry runtime_;
   Mcu mcu_;
 };
@@ -366,7 +370,8 @@ TEST(McuDefragOnPressure, AvoidsEvictionUnderPureFragmentation) {
   algorithms::register_runtimes(runtime);
   McuConfig config;
   config.defragment_on_pressure = true;
-  Mcu mcu(fabric, scheduler, trace, runtime, config);
+  telemetry::Registry registry;
+  Mcu mcu(fabric, scheduler, trace, registry, runtime, config);
 
   for (KernelId id : {KernelId::kAes128, KernelId::kFft, KernelId::kMatMul,
                       KernelId::kModExp}) {
@@ -561,7 +566,8 @@ class DeltaMcuFixture : public ::testing::Test {
   static constexpr unsigned kFrames = 12;
   static constexpr unsigned kDirty = 2;
 
-  DeltaMcuFixture() : mcu_(fabric_, scheduler_, trace_, runtime_, config()) {
+  DeltaMcuFixture()
+      : mcu_(fabric_, scheduler_, trace_, registry_, runtime_, config()) {
     algorithms::register_runtimes(runtime_);
   }
 
@@ -594,6 +600,7 @@ class DeltaMcuFixture : public ::testing::Test {
   fabric::Fabric fabric_;
   sim::Scheduler scheduler_;
   sim::Trace trace_;
+  telemetry::Registry registry_;
   RuntimeRegistry runtime_;
   Mcu mcu_;
 };

@@ -23,6 +23,9 @@
 #include "core/fleet.h"
 #include "invariant_harness.h"
 #include "sim/parallel.h"
+#include "telemetry/trace_sink.h"
+#include "workload/multiclient.h"
+#include "workload/replay.h"
 
 namespace aad {
 namespace {
@@ -368,6 +371,62 @@ TEST(ParallelFleetTest, ClosedLoopTrafficDrainsDeterministically) {
     return harness::fleet_digest(fleet);
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(ParallelFleetEquivalenceTest, TraceSpanSetMatchesSingleThread) {
+  // The telemetry extension of the digest property: for an open-loop trace
+  // the Chrome-trace span set is IDENTICAL between the classic engine and
+  // the sharded one.  Each card's lanes are private per-shard buffers and
+  // merged() sorts by the total order (ts, process, track, seq), so no
+  // worker interleaving can reorder, drop, or retime a span.
+  workload::MultiClientConfig wc;
+  wc.clients = 4;
+  wc.requests_per_client = 8;
+  wc.functions = algorithms::function_bank();
+  wc.seed = 31;
+  wc.zipf_s = 1.1;
+  wc.payload_blocks = 2;
+  wc.mode = workload::ArrivalMode::kOpenLoop;
+  wc.mean_interarrival = sim::SimTime::us(60);
+  const auto trace = workload::make_multi_client(wc);
+
+  const auto run = [&trace](unsigned threads) {
+    core::FleetConfig fc;
+    fc.cards = 4;
+    fc.threads = threads;
+    fc.policy = core::DispatchPolicy::kResidencyAffinity;
+    core::CoprocessorFleet fleet(fc);
+    telemetry::TraceSink sink;
+    fleet.attach_trace(sink, "fleet");
+    fleet.download_all();
+    workload::replay(fleet, trace,
+                     [](workload::FunctionId fn, std::size_t blocks,
+                        std::size_t index) {
+                       return algorithms::bank_input(fn, blocks, index);
+                     });
+    fleet.run();
+    return sink.merged();
+  };
+
+  const std::vector<telemetry::TraceEvent> classic = run(1);
+  const std::vector<telemetry::TraceEvent> sharded = run(4);
+  ASSERT_FALSE(classic.empty());
+  ASSERT_EQ(sharded.size(), classic.size());
+  for (std::size_t i = 0; i < classic.size(); ++i) {
+    const telemetry::TraceEvent& a = classic[i];
+    const telemetry::TraceEvent& b = sharded[i];
+    EXPECT_EQ(b.ts_ps, a.ts_ps) << "event " << i;
+    EXPECT_EQ(b.dur_ps, a.dur_ps) << "event " << i;
+    EXPECT_EQ(b.process, a.process) << "event " << i;
+    EXPECT_EQ(b.track, a.track) << "event " << i;
+    EXPECT_EQ(b.seq, a.seq) << "event " << i;
+    EXPECT_STREQ(b.name, a.name) << "event " << i;
+    EXPECT_STREQ(b.category, a.category) << "event " << i;
+    EXPECT_EQ(b.request, a.request) << "event " << i;
+    EXPECT_EQ(b.client, a.client) << "event " << i;
+    EXPECT_EQ(b.function, a.function) << "event " << i;
+    EXPECT_EQ(b.card, a.card) << "event " << i;
+  }
 }
 
 }  // namespace
